@@ -1,0 +1,59 @@
+"""Ablation: blind-delete avoidance (§4.1.5).
+
+A tombstone for a key that does not exist is a *blind delete*: it costs
+buffer space, pollutes Bloom filters, and rides compactions to the last
+level for nothing. FADE probes the filters before inserting a tombstone.
+The bench issues half of its deletes against absent keys and compares
+tombstone traffic with the check on and off.
+"""
+
+import random
+
+from repro.bench.harness import BENCH_SCALE, make_lethe, workload_for
+from repro.bench.reporting import format_table
+
+
+def run_engine(ingest_ops, runtime, avoid: bool, blind_deletes):
+    engine = make_lethe(
+        BENCH_SCALE, d_th=0.05 * runtime, avoid_blind_deletes=avoid
+    )
+    engine.ingest(ingest_ops)
+    for key in blind_deletes:
+        engine.delete(key)
+    engine.flush()
+    return engine
+
+
+def test_ablation_blind_deletes(benchmark):
+    def run():
+        ingest_ops, _q, runtime = workload_for(
+            BENCH_SCALE, delete_fraction=0.02, num_point_lookups=0
+        )
+        rng = random.Random(99)
+        # Absent keys: far outside the generator's inserted key range.
+        blind = [rng.randrange(1 << 40, 1 << 41) for _ in range(300)]
+        with_check = run_engine(ingest_ops, runtime, True, blind)
+        without_check = run_engine(ingest_ops, runtime, False, blind)
+        return with_check, without_check
+
+    with_check, without_check = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        ["on", with_check.stats.blind_deletes_skipped,
+         with_check.stats.point_tombstones_ingested,
+         with_check.stats.total_bytes_written],
+        ["off", without_check.stats.blind_deletes_skipped,
+         without_check.stats.point_tombstones_ingested,
+         without_check.stats.total_bytes_written],
+    ]
+    print("\n" + format_table(
+        ["BF pre-check", "blind deletes skipped", "tombstones ingested",
+         "total bytes written"],
+        rows,
+        title="Ablation: blind-delete avoidance (300 deletes of absent keys)",
+    ) + "\n")
+    assert with_check.stats.blind_deletes_skipped >= 250  # BF FPs may pass a few
+    assert without_check.stats.blind_deletes_skipped == 0
+    assert (
+        with_check.stats.point_tombstones_ingested
+        < without_check.stats.point_tombstones_ingested
+    )

@@ -1,0 +1,43 @@
+"""Ablation: FADE's saturation-time file-selection modes (§4.1.4).
+
+SO (overlap-driven) optimizes write amplification; SD (delete-driven)
+optimizes space amplification by compacting the files with the highest
+estimated invalidation count first. DD maps to SD for saturation work.
+The bench quantifies the trade on the standard 10%-deletes workload.
+"""
+
+from repro.bench.harness import BENCH_SCALE, make_lethe, workload_for
+from repro.bench.reporting import format_table
+from repro.core.config import FileSelectionMode
+
+
+def test_ablation_file_selection(benchmark):
+    def run():
+        ingest_ops, _q, runtime = workload_for(
+            BENCH_SCALE, delete_fraction=0.10, num_point_lookups=0
+        )
+        outcomes = {}
+        for mode in (FileSelectionMode.SO, FileSelectionMode.SD):
+            engine = make_lethe(
+                BENCH_SCALE, d_th=0.05 * runtime, file_selection=mode
+            )
+            engine.ingest(ingest_ops)
+            outcomes[mode.value] = {
+                "samp": engine.space_amplification(),
+                "bytes": engine.stats.total_bytes_written,
+                "tombstones": engine.tombstones_on_disk(),
+            }
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [mode, f"{data['samp']:.4f}", data["bytes"], data["tombstones"]]
+        for mode, data in outcomes.items()
+    ]
+    print("\n" + format_table(
+        ["selection mode", "space amp", "total bytes written",
+         "tombstones on disk"],
+        rows,
+        title="Ablation: SO vs SD saturation-time file selection",
+    ) + "\n")
+    assert set(outcomes) == {"so", "sd"}

@@ -1,0 +1,23 @@
+"""Bench for Figure 1: the qualitative positioning, from measured data.
+
+Reproduces Fig 1A's radar axes (lookup cost, delete persistence, space
+amplification, write amplification) as measured ratios between the
+state-of-the-art baseline and Lethe at 10% deletes.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE
+
+from benchmarks.conftest import emit
+
+
+def test_fig1_summary(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig1_summary(BENCH_SCALE, delete_fraction=0.10),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    s = result.series
+    assert s["lethe_samp"] <= s["baseline_samp"]
+    assert s["lethe_persistence_age"] <= s["d_th"] * 1.5

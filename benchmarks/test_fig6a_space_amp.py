@@ -1,0 +1,24 @@
+"""Bench for Fig 6A: space amplification vs %deletes.
+
+Paper shape: identical engines at 0% deletes; with deletes, Lethe's samp
+is a fraction of RocksDB's (up to 9.8× lower at 10% deletes), and smaller
+D_th gives smaller samp.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import emit
+
+
+def test_fig6a_space_amplification(benchmark, bench_sweep):
+    result = benchmark.pedantic(
+        lambda: ex.fig6a_space_amplification(bench_sweep),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    fractions = result.series["delete_fractions"]
+    top = fractions.index(max(fractions))
+    assert (
+        result.series["Lethe/3%"][top] < result.series["RocksDB"][top]
+    ), "Lethe must reduce space amplification at the highest delete fraction"

@@ -1,0 +1,26 @@
+"""Bench for Fig 6B: number of compactions vs %deletes.
+
+Paper shape: with deletes, Lethe performs *fewer, larger* compactions.
+At simulation scale Lethe's TTL-driven compactions are visible as extra
+small compactions instead (see EXPERIMENTS.md for the deviation note);
+the bench prints both counts plus the TTL-triggered share.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import emit
+
+
+def test_fig6b_compaction_count(benchmark, bench_sweep):
+    result = benchmark.pedantic(
+        lambda: ex.fig6b_compaction_count(bench_sweep), rounds=1, iterations=1
+    )
+    emit(result)
+    lethe = bench_sweep["Lethe/3%"][0.10].engine
+    base = bench_sweep["RocksDB"][0.10].engine
+    print(
+        f"TTL-triggered share (Lethe, 10% deletes): "
+        f"{lethe.stats.ttl_triggered_compactions}/{lethe.stats.compactions}"
+    )
+    assert base.stats.ttl_triggered_compactions == 0
+    assert lethe.stats.ttl_triggered_compactions > 0

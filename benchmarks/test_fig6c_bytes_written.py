@@ -1,0 +1,21 @@
+"""Bench for Fig 6C: total data written vs %deletes.
+
+Paper shape: Lethe writes modestly more (≈4.5% at D_th = 50% of runtime;
+4–25% across settings) because TTL-expired files overlap more victims.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import emit
+
+
+def test_fig6c_bytes_written(benchmark, bench_sweep):
+    result = benchmark.pedantic(
+        lambda: ex.fig6c_bytes_written(bench_sweep), rounds=1, iterations=1
+    )
+    emit(result)
+    fractions = result.series["delete_fractions"]
+    top = fractions.index(max(fractions))
+    ratio = result.series["Lethe/3%"][top] / result.series["RocksDB"][top]
+    print(f"bytes ratio (Lethe/3% vs RocksDB at 10% deletes): {ratio:.3f}")
+    assert 0.9 <= ratio <= 1.6, "write overhead must stay modest"

@@ -1,0 +1,24 @@
+"""Bench for Fig 6D: read throughput vs %deletes.
+
+Paper shape: Lethe improves lookup throughput by up to 17% (1.17×; up to
+1.4× in the headline) for workloads with deletes, by purging tombstones
+and invalid entries that otherwise pollute the Bloom filters and cost
+lookup I/Os.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import emit
+
+
+def test_fig6d_read_throughput(benchmark, bench_sweep):
+    result = benchmark.pedantic(
+        lambda: ex.fig6d_read_throughput(bench_sweep), rounds=1, iterations=1
+    )
+    emit(result)
+    fractions = result.series["delete_fractions"]
+    top = fractions.index(max(fractions))
+    lethe = result.series["Lethe/3%"][top]
+    base = result.series["RocksDB"][top]
+    print(f"throughput gain at 10% deletes: {lethe / base:.3f}×")
+    assert lethe >= base * 0.98

@@ -1,0 +1,33 @@
+"""Bench for Fig 6E: cumulative tombstones vs age of containing files.
+
+Paper shape: RocksDB retains ~40% of tombstones in files older than even
+the loosest threshold; Lethe holds *no* tombstone past its D_th.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE
+
+from benchmarks.conftest import emit
+
+
+def test_fig6e_tombstone_ages(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6e_tombstone_ages(BENCH_SCALE, delete_fraction=0.10),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    runtime = result.series["runtime"]
+    for fraction in ex.DTH_FRACTIONS:
+        name = f"Lethe/{fraction:.0%}"
+        d_th = result.series[f"{name}/d_th"]
+        ages = result.series[name]
+        slack = 4 * BENCH_SCALE.buffer_pages * BENCH_SCALE.page_entries / (
+            BENCH_SCALE.ingestion_rate
+        )
+        oldest = max((age for age, _count in ages), default=0.0)
+        assert oldest <= d_th + slack, (
+            f"{name}: file of age {oldest:.2f}s violates D_th={d_th:.2f}s"
+        )
+    rocks_ages = result.series["RocksDB"]
+    assert sum(c for _a, c in rocks_ages) > 0

@@ -1,0 +1,26 @@
+"""Bench for Fig 6G: average write/mixed latency vs data size.
+
+Paper shape: write latency flat in data size, Lethe 0.1–3% above RocksDB;
+mixed-workload latency slightly better for Lethe (0.5–4%).
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import ExperimentScale
+
+from benchmarks.conftest import emit
+
+SCALE = ExperimentScale(num_inserts=4000, num_point_lookups=0)
+
+
+def test_fig6g_latency_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6g_latency_scaling(
+            SCALE, size_multipliers=(0.25, 0.5, 1.0, 2.0)
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    for series_name in ("write-RocksDB", "write-Lethe",
+                        "mixed-RocksDB", "mixed-Lethe"):
+        assert all(v > 0 for v in result.series[series_name])

@@ -1,0 +1,26 @@
+"""Bench for Fig 6H: % full page drops per (h, delete fraction).
+
+Paper shape: larger tiles allow a larger share of pages to be dropped in
+full (without any I/O); h = 1 — the classic layout — can essentially
+never full-drop under an uncorrelated delete key.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import KIWI_BENCH_SCALE, emit
+
+
+def test_fig6h_page_drops(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6h_page_drops(
+            KIWI_BENCH_SCALE,
+            h_values=(1, 2, 4, 8, 16, 32),
+            selectivities=(0.01, 0.02, 0.03, 0.04, 0.05),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    at_5pct = [result.series[f"h={h}"][-1] for h in (1, 2, 4, 8, 16, 32)]
+    assert at_5pct == sorted(at_5pct), "full drops must grow with h"
+    assert result.series["h=1"][-1] <= 1.0

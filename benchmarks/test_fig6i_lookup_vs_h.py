@@ -1,0 +1,27 @@
+"""Bench for Fig 6I: average lookup I/Os vs delete-tile granularity.
+
+Paper shape: both zero-result and non-zero-result lookup costs grow
+linearly with h (each page of a tile carries its own Bloom filter whose
+false positives cost a page read).
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import KIWI_BENCH_SCALE, emit
+
+
+def test_fig6i_lookup_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6i_lookup_cost(
+            KIWI_BENCH_SCALE, h_values=(1, 2, 4, 8, 16, 32, 64),
+            num_lookups=400,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    nonzero = result.series["nonzero_result"]
+    zero = result.series["zero_result"]
+    assert nonzero[-1] > nonzero[0]
+    assert zero[-1] > zero[0]
+    assert all(cost >= 1.0 for cost in nonzero)

@@ -1,0 +1,25 @@
+"""Bench for Fig 6J: choosing the optimal storage layout.
+
+Paper shape: at a fixed secondary-range-delete : point-lookup frequency
+ratio, the I/O-optimal tile size h grows with the delete's selectivity
+(h = 1 optimal at 1% selectivity; h = 8 at 5% in the paper's setup).
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import KIWI_BENCH_SCALE, emit
+
+
+def test_fig6j_optimal_layout(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6j_optimal_layout(
+            KIWI_BENCH_SCALE,
+            h_values=(1, 2, 4, 8, 16, 32),
+            selectivities=(0.01, 0.02, 0.03, 0.04, 0.05),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    optima = result.series["optimal_h"]
+    assert optima[0] <= optima[-1], "optimal h must not shrink with selectivity"

@@ -1,0 +1,33 @@
+"""Bench for Fig 6K: the CPU (hashing) vs I/O trade-off.
+
+Paper shape: hashing time grows linearly with h but stays three orders of
+magnitude below page-I/O time; at the optimal h Lethe's I/O time is ~76%
+below RocksDB's (which must full-tree-compact for the same secondary
+range delete) at a few × more hashing.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import KIWI_BENCH_SCALE, emit
+
+
+def test_fig6k_cpu_io_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6k_cpu_io_tradeoff(
+            KIWI_BENCH_SCALE, h_values=(1, 2, 4, 8, 16, 32), num_queries=600
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    io = result.series["io_seconds"]
+    hashing = result.series["hash_seconds"]
+    rocksdb_total = (
+        result.series["rocksdb_io_seconds"] + result.series["rocksdb_hash_seconds"]
+    )
+    best_total = min(i + h for i, h in zip(io, hashing))
+    print(f"best Lethe total vs RocksDB: {best_total:.4f}s vs {rocksdb_total:.4f}s "
+          f"({100 * (1 - best_total / rocksdb_total):.0f}% lower)")
+    assert best_total < rocksdb_total
+    assert hashing[-1] > hashing[0]
+    assert io[-1] < io[0]

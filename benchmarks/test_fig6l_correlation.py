@@ -1,0 +1,26 @@
+"""Bench for Fig 6L: sort/delete-key correlation decides the layout.
+
+Paper shape: with no correlation, larger tiles turn range deletes into
+full page drops at growing range-query cost; with correlation ≈ 1 the
+delete tiles buy nothing and h = 1 (the classic layout) is optimal.
+"""
+
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import KIWI_BENCH_SCALE, emit
+
+
+def test_fig6l_correlation(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.fig6l_correlation(
+            KIWI_BENCH_SCALE, h_values=(1, 2, 4, 8, 16, 32),
+            num_range_queries=100,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+    uncorrelated = result.series["no correlation/full_drop_pct"]
+    correlated = result.series["cor = 1/full_drop_pct"]
+    assert uncorrelated[-1] > uncorrelated[0]
+    assert max(correlated) - min(correlated) <= max(5.0, 0.2 * max(correlated))

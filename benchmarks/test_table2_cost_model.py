@@ -1,0 +1,25 @@
+"""Bench for Table 2: the analytical comparative analysis.
+
+Evaluates the §3.2 closed-form models at Table 1's reference values and
+prints both the leveling and tiering variants with the paper's
+better/worse/same/tunable markers.
+"""
+
+from repro.analysis.cost_model import Design, ModelParams, Policy
+from repro.analysis.table2 import compute_table2
+from repro.bench import experiments as ex
+
+from benchmarks.conftest import emit
+
+
+def test_table2_cost_model(benchmark):
+    result = benchmark.pedantic(
+        ex.table2_cost_model, rounds=1, iterations=1
+    )
+    emit(result)
+    table = compute_table2(ModelParams(), Policy.LEVELING, d_th=60.0)
+    # Spot-check the paper's headline cells.
+    assert table["delete_persistence_latency"]["lethe"].marker == "▲"
+    assert table["space_amp_with_deletes"]["fade"].marker == "▲"
+    assert table["secondary_range_delete_cost"]["kiwi"].marker == "♦"
+    assert table["entries_in_tree"]["lethe"].marker == "▲"

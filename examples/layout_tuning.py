@@ -1,0 +1,91 @@
+"""Navigating the storage-layout continuum (§4.2.6, §4.3).
+
+Given a workload mix, Lethe solves Eq. (3) for the largest tile size at
+which the woven layout still beats the classic one, and Eq. (1) for the
+cost-minimizing h. This script reproduces the paper's §4.3 worked example
+(a 400 GB database → h ≈ 102), then validates the advisor empirically on
+a simulated engine: it measures the actual per-operation I/O at several
+tile sizes and shows the advisor's pick is (near-)optimal.
+
+Run:  python examples/layout_tuning.py
+"""
+
+import random
+
+from repro import LSMEngine, WorkloadMix, best_feasible_h, optimal_tile_granularity
+
+
+def paper_worked_example() -> None:
+    print("== §4.3 worked example ==")
+    total_entries = 400 * 2**30 // 1024  # 400 GB of 1 KB entries
+    mix = WorkloadMix(
+        f_point_query=5e7,              # 50M point queries ...
+        f_short_range_query=1e4,        # ... and 10K short range queries
+        f_secondary_range_delete=1.0,   # per secondary range delete
+    )
+    h = optimal_tile_granularity(
+        mix, total_entries, page_entries=4, fpr=0.02, levels=8
+    )
+    print(f"optimal delete-tile granularity h = {h}  (paper: ≈102)\n")
+
+
+def empirical_validation() -> None:
+    print("== empirical validation at simulation scale ==")
+    num_docs = 3000
+    mix = WorkloadMix(
+        f_point_query=1.0,
+        f_secondary_range_delete=1.0 / 1500.0,  # one purge per 1500 lookups
+    )
+    advised = best_feasible_h(
+        mix,
+        total_entries=num_docs,
+        page_entries=4,
+        fpr=0.0081,  # 10 bits/key
+        levels=2,
+        file_pages=32,
+    )
+    print(f"advisor's pick: h = {advised}")
+
+    print(f"{'h':>4}  {'measured I/O per op':>20}")
+    rng = random.Random(11)
+    best = (None, float("inf"))
+    for h in (1, 2, 4, 8, 16, 32):
+        engine = LSMEngine.lethe(
+            delete_persistence_threshold=1e9,
+            delete_tile_pages=h,
+            buffer_pages=16,
+            file_pages=32,
+            force_kiwi_layout=True,
+        )
+        keys = []
+        for i in range(num_docs):
+            key = (i * 2654435761) % (1 << 30)
+            engine.put(key, f"doc{i}", delete_key=rng.randrange(1 << 30))
+            keys.append(key)
+        engine.flush()
+        engine.force_full_compaction()
+        engine.stats.reset_read_counters()
+        reads_before = engine.stats.pages_read
+        writes_before = engine.stats.pages_written
+        n_lookups = 1500
+        for _ in range(n_lookups):
+            engine.get(keys[rng.randrange(len(keys))])
+        engine.secondary_range_delete(0, (1 << 30) // 4)  # 25% purge
+        ios = (engine.stats.pages_read - reads_before) + (
+            engine.stats.pages_written - writes_before
+        )
+        per_op = ios / (n_lookups + 1)
+        marker = " <- advisor" if h == advised else ""
+        print(f"{h:>4}  {per_op:>20.4f}{marker}")
+        if per_op < best[1]:
+            best = (h, per_op)
+    print(f"measured optimum: h = {best[0]}")
+
+
+def main() -> None:
+    paper_worked_example()
+    empirical_validation()
+
+
+if __name__ == "__main__":
+    main()

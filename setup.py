@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP
+660 editable installs (which build a wheel) fail. A ``setup.py`` lets pip
+fall back to the legacy ``develop`` code path for ``pip install -e .``.
+Metadata lives in ``pyproject.toml``; this file only triggers the build.
+"""
+
+from setuptools import setup
+
+setup()

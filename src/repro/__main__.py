@@ -1,0 +1,109 @@
+"""Command-line entry point: run any experiment from the shell.
+
+Usage::
+
+    python -m repro list                 # enumerate experiments
+    python -m repro fig6a                # run one figure's experiment
+    python -m repro all                  # run everything (slow)
+    python -m repro fig6h --inserts 4000 # scale override
+
+Each experiment prints the same series its paper figure plots; the
+benchmark suite (`pytest benchmarks/ --benchmark-only`) wraps the same
+drivers with timing and assertions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE, ExperimentScale
+
+_SWEEP_FIGURES = {
+    "fig6a": ex.fig6a_space_amplification,
+    "fig6b": ex.fig6b_compaction_count,
+    "fig6c": ex.fig6c_bytes_written,
+    "fig6d": ex.fig6d_read_throughput,
+}
+
+_STANDALONE = {
+    "fig6e": lambda scale: ex.fig6e_tombstone_ages(scale),
+    "fig6f": lambda scale: ex.fig6f_write_amortization(scale),
+    "fig6g": lambda scale: ex.fig6g_latency_scaling(scale),
+    "fig6h": lambda scale: ex.fig6h_page_drops(scale),
+    "fig6i": lambda scale: ex.fig6i_lookup_cost(scale),
+    "fig6j": lambda scale: ex.fig6j_optimal_layout(scale),
+    "fig6k": lambda scale: ex.fig6k_cpu_io_tradeoff(scale),
+    "fig6l": lambda scale: ex.fig6l_correlation(scale),
+    "fig1": lambda scale: ex.fig1_summary(scale),
+    "table2": lambda scale: ex.table2_cost_model(),
+}
+
+
+def _scale_from(args: argparse.Namespace) -> ExperimentScale:
+    if args.inserts is None:
+        return BENCH_SCALE
+    return ExperimentScale(
+        num_inserts=args.inserts,
+        num_point_lookups=max(100, args.inserts // 6),
+    )
+
+
+def _run_one(name: str, scale: ExperimentScale, sweep_cache: dict) -> None:
+    started = time.time()
+    if name in _SWEEP_FIGURES:
+        if "sweep" not in sweep_cache:
+            print("(running the shared delete sweep — reused by fig6a–fig6d)")
+            sweep_cache["sweep"] = ex.delete_sweep(scale)
+        result = _SWEEP_FIGURES[name](sweep_cache["sweep"])
+    else:
+        result = _STANDALONE[name](scale)
+    elapsed = time.time() - started
+    print(result.report)
+    print(f"[{name} done in {elapsed:.1f}s]\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the evaluation of 'Lethe: A Tunable "
+        "Delete-Aware LSM Engine' (SIGMOD 2020).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig6a..fig6l, fig1, table2), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--inserts",
+        type=int,
+        default=None,
+        help="override the workload size (default: the bench scale, 9000)",
+    )
+    args = parser.parse_args(argv)
+
+    known = dict(**_SWEEP_FIGURES, **_STANDALONE)
+    if args.experiment == "list":
+        print("available experiments:")
+        for name in known:
+            print(f"  {name}")
+        print("  all")
+        return 0
+
+    scale = _scale_from(args)
+    sweep_cache: dict = {}
+    if args.experiment == "all":
+        for name in known:
+            _run_one(name, scale, sweep_cache)
+        return 0
+    if args.experiment not in known:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment, scale, sweep_cache)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

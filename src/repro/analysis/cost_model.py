@@ -1,0 +1,248 @@
+"""Closed-form cost models of §3.2 and Table 2.
+
+Evaluates the asymptotic expressions of the paper for concrete parameter
+values (Table 1 reference values by default), for the four designs the
+comparative analysis covers:
+
+* state of the art (SoA),
+* FADE only,
+* Key Weaving Storage Layout (KiWi) only,
+* Lethe (FADE + KiWi),
+
+each under leveling and tiering. Constant factors inside O(·) are taken
+as 1, so the *ratios* between designs — what Table 2's ▲/▼/♦ markers
+encode — are meaningful while absolute values are nominal.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+class Design(enum.Enum):
+    """The four design points compared by Table 2."""
+
+    STATE_OF_THE_ART = "state_of_the_art"
+    FADE = "fade"
+    KIWI = "kiwi"
+    LETHE = "lethe"
+
+
+class Policy(enum.Enum):
+    LEVELING = "leveling"
+    TIERING = "tiering"
+
+
+@dataclass(frozen=True)
+class ModelParams:
+    """Parameters of the analytical model (symbols of Table 1).
+
+    ``entries_after_deletes`` is ``N_δ`` (entries once deletes persist) and
+    ``levels_after_deletes`` is ``L_δ``; FADE-based designs operate on
+    those, the others on ``N``/``L``.
+    """
+
+    num_entries: int = 2**20              # N
+    size_ratio: int = 10                  # T
+    num_levels: int = 3                   # L (disk levels)
+    buffer_pages: int = 512               # P
+    page_entries: int = 4                 # B
+    entry_size: int = 1024                # E
+    tombstone_ratio: float = 0.1          # λ
+    ingestion_rate: float = 1024.0        # I
+    bloom_memory_bits: float = 8 * 10 * 2**20  # m (10 MB in bits)
+    tile_pages: int = 16                  # h
+    range_selectivity: float = 1e-3       # s (long range lookups)
+    entries_after_deletes: int | None = None   # N_δ
+    levels_after_deletes: int | None = None    # L_δ
+    key_size: int = 102                   # sizeof(S)
+    delete_key_size: int = 8              # sizeof(D)
+
+    def __post_init__(self) -> None:
+        if self.num_entries < 1 or self.size_ratio < 2 or self.num_levels < 1:
+            raise ConfigError("invalid model parameters")
+        if not (0 < self.tombstone_ratio <= 1):
+            raise ConfigError(f"λ must lie in (0, 1], got {self.tombstone_ratio}")
+        if self.tile_pages < 1:
+            raise ConfigError(f"h must be >= 1, got {self.tile_pages}")
+
+    @property
+    def n_delta(self) -> int:
+        """N_δ defaults to 0.9·N (the evaluation's 10%-deletes setting)."""
+        if self.entries_after_deletes is not None:
+            return self.entries_after_deletes
+        return int(0.9 * self.num_entries)
+
+    @property
+    def l_delta(self) -> int:
+        if self.levels_after_deletes is not None:
+            return self.levels_after_deletes
+        return self.num_levels
+
+    def bits_per_entry(self, entries: int) -> float:
+        """m/N for a given live-entry count."""
+        return self.bloom_memory_bits / max(1, entries)
+
+    def fpr(self, entries: int) -> float:
+        """Bloom FPR ``e^{-(m/N)·ln(2)^2}`` (§3.2.2)."""
+        return math.exp(-self.bits_per_entry(entries) * (math.log(2) ** 2))
+
+
+def _uses_fade(design: Design) -> bool:
+    return design in (Design.FADE, Design.LETHE)
+
+
+def _uses_kiwi(design: Design) -> bool:
+    return design in (Design.KIWI, Design.LETHE)
+
+
+class CostModel:
+    """Evaluates every Table 2 row for one (design, policy) pair."""
+
+    def __init__(self, params: ModelParams, design: Design, policy: Policy):
+        self.params = params
+        self.design = design
+        self.policy = policy
+
+    # --- helpers ---------------------------------------------------------
+
+    @property
+    def _n(self) -> int:
+        """Physical entries retained by this design (N or N_δ)."""
+        return self.params.n_delta if _uses_fade(self.design) else self.params.num_entries
+
+    @property
+    def _levels(self) -> int:
+        return self.params.l_delta if _uses_fade(self.design) else self.params.num_levels
+
+    @property
+    def _h(self) -> int:
+        return self.params.tile_pages if _uses_kiwi(self.design) else 1
+
+    # --- Table 2 rows ----------------------------------------------------
+
+    def entries_in_tree(self) -> float:
+        """Row 1: O(N) vs O(N_δ)."""
+        return float(self._n)
+
+    def space_amp_without_deletes(self) -> float:
+        """Row 2: O(1/T) leveling, O(T) tiering — unaffected by design."""
+        t = self.params.size_ratio
+        return 1.0 / t if self.policy is Policy.LEVELING else float(t)
+
+    def space_amp_with_deletes(self) -> float:
+        """Row 3 (§3.2.1): tombstones leverage λ against the design."""
+        p = self.params
+        t = p.size_ratio
+        if _uses_fade(self.design):
+            # FADE bounds samp back to the no-delete case.
+            return 1.0 / t if self.policy is Policy.LEVELING else float(t)
+        if self.policy is Policy.LEVELING:
+            return ((1 - p.tombstone_ratio) * p.num_entries + 1) / (
+                p.tombstone_ratio * t * p.num_entries
+            ) * 1.0  # normalized per entry: O(((1-λ)N+1)/(λT)) / N
+        return 1.0 / (1 - p.tombstone_ratio)
+
+    def total_bytes_written(self) -> float:
+        """Row 4: O(N·E·L·T) leveling, O(N·E·L) tiering."""
+        p = self.params
+        base = self._n * p.entry_size * self._levels
+        return base * p.size_ratio if self.policy is Policy.LEVELING else base
+
+    def write_amplification(self) -> float:
+        """Row 5: O(L·T) leveling, O(L) tiering."""
+        factor = self._levels
+        if self.policy is Policy.LEVELING:
+            factor *= self.params.size_ratio
+        return float(factor)
+
+    def delete_persistence_latency(self, d_th: float | None = None) -> float:
+        """Row 6 (§3.2.4): ingestion-bound for SoA/KiWi, O(D_th) for FADE."""
+        p = self.params
+        if _uses_fade(self.design):
+            return d_th if d_th is not None else 1.0
+        exponent = p.num_levels - 1 if self.policy is Policy.LEVELING else p.num_levels
+        return (
+            (p.size_ratio**exponent) * p.buffer_pages * p.page_entries
+        ) / p.ingestion_rate
+
+    def zero_result_lookup(self) -> float:
+        """Row 7: O(e^{-m/N}), × T for tiering, × h for KiWi."""
+        cost = self.params.fpr(self._n) * self._h
+        if self.policy is Policy.TIERING:
+            cost *= self.params.size_ratio
+        return cost
+
+    def nonzero_result_lookup(self) -> float:
+        """Row 8: 1 + the zero-result overhead."""
+        return 1.0 + self.zero_result_lookup()
+
+    def short_range_lookup(self) -> float:
+        """Row 9: O(L), × T for tiering, × h for KiWi."""
+        cost = float(self._levels * self._h)
+        if self.policy is Policy.TIERING:
+            cost *= self.params.size_ratio
+        return cost
+
+    def long_range_lookup(self) -> float:
+        """Row 10: O(s·N/B) — tile structure amortizes out (§4.2.5)."""
+        p = self.params
+        cost = p.range_selectivity * self._n / p.page_entries
+        if self.policy is Policy.TIERING:
+            cost *= p.size_ratio
+        return cost
+
+    def insert_update_cost(self) -> float:
+        """Row 11: amortized O(L·T/B) leveling, O(L/B) tiering."""
+        p = self.params
+        cost = self._levels / p.page_entries
+        if self.policy is Policy.LEVELING:
+            cost *= p.size_ratio
+        return cost
+
+    def secondary_range_delete_cost(self) -> float:
+        """Row 12 (§3.3, §4.2.5): O(N/B) classic vs O(N/(B·h)) with tiles."""
+        p = self.params
+        return self._n / (p.page_entries * self._h)
+
+    def memory_footprint_bits(self) -> float:
+        """Row 13: filters + fence metadata.
+
+        Classic: ``m + (N/B)·k`` (one fence key per page). KiWi:
+        ``m + (N/(B·h))·k + (N/B)·(k_D + k_S)`` — fence keys per *tile*
+        plus per-page delete fences; we store (min,max) D per page (see
+        ``filters/fence.py``), hence ``k_D`` counts twice.
+        """
+        p = self.params
+        pages = self._n / p.page_entries
+        bits = p.bloom_memory_bits
+        if _uses_kiwi(self.design):
+            bits += (pages / self._h) * p.key_size * 8
+            bits += pages * (2 * p.delete_key_size) * 8
+        else:
+            bits += pages * p.key_size * 8
+        return bits
+
+    # --- bundle ------------------------------------------------------------
+
+    def all_rows(self, d_th: float | None = None) -> dict[str, float]:
+        """Every Table 2 metric, keyed by row name."""
+        return {
+            "entries_in_tree": self.entries_in_tree(),
+            "space_amp_no_deletes": self.space_amp_without_deletes(),
+            "space_amp_with_deletes": self.space_amp_with_deletes(),
+            "total_bytes_written": self.total_bytes_written(),
+            "write_amplification": self.write_amplification(),
+            "delete_persistence_latency": self.delete_persistence_latency(d_th),
+            "zero_result_lookup": self.zero_result_lookup(),
+            "nonzero_result_lookup": self.nonzero_result_lookup(),
+            "short_range_lookup": self.short_range_lookup(),
+            "long_range_lookup": self.long_range_lookup(),
+            "insert_update_cost": self.insert_update_cost(),
+            "secondary_range_delete_cost": self.secondary_range_delete_cost(),
+            "memory_footprint_bits": self.memory_footprint_bits(),
+        }

@@ -1,0 +1,103 @@
+"""Table 2 generator: the comparative analysis of SoA / FADE / KiWi / Lethe.
+
+Evaluates the §3.2 cost models at concrete parameters and annotates each
+cell against the state of the art with the paper's markers:
+
+* ``▲`` better, ``▼`` worse, ``•`` same, ``♦`` tunable (the KiWi rows whose
+  direction depends on h).
+
+``render_table2()`` returns the formatted table the corresponding bench
+prints; ``compute_table2()`` returns raw numbers for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cost_model import CostModel, Design, ModelParams, Policy
+
+# Rows where a *larger* value is better (none in Table 2 — all are costs).
+_ROW_ORDER = [
+    ("entries_in_tree", "Entries in tree"),
+    ("space_amp_no_deletes", "Space amp (no deletes)"),
+    ("space_amp_with_deletes", "Space amp (with deletes)"),
+    ("total_bytes_written", "Total bytes written"),
+    ("write_amplification", "Write amplification"),
+    ("delete_persistence_latency", "Delete persistence latency"),
+    ("zero_result_lookup", "Zero-result point lookup"),
+    ("nonzero_result_lookup", "Non-zero point lookup"),
+    ("short_range_lookup", "Short range lookup"),
+    ("long_range_lookup", "Long range lookup"),
+    ("insert_update_cost", "Insert/update cost"),
+    ("secondary_range_delete_cost", "Secondary range delete"),
+    ("memory_footprint_bits", "Main memory footprint"),
+]
+
+# Rows the paper marks ♦ (tunable) for the KiWi-bearing designs.
+_TUNABLE_ROWS = {
+    "zero_result_lookup",
+    "nonzero_result_lookup",
+    "short_range_lookup",
+    "secondary_range_delete_cost",
+    "memory_footprint_bits",
+}
+
+
+@dataclass(frozen=True)
+class Table2Cell:
+    value: float
+    marker: str  # one of "▲" "▼" "•" "♦"
+
+
+def _marker(design: Design, row: str, value: float, baseline: float) -> str:
+    if design is Design.STATE_OF_THE_ART:
+        return "•"
+    if row in _TUNABLE_ROWS and design in (Design.KIWI, Design.LETHE):
+        # These cells depend on the knob h: the paper marks them tunable
+        # regardless of where the current h happens to land.
+        return "♦"
+    if abs(value - baseline) <= 1e-12 * max(1.0, abs(baseline)):
+        return "•"
+    return "▲" if value < baseline else "▼"
+
+
+def compute_table2(
+    params: ModelParams | None = None,
+    policy: Policy = Policy.LEVELING,
+    d_th: float | None = 60.0,
+) -> dict[str, dict[str, Table2Cell]]:
+    """Rows × designs → annotated cells (raw data behind the table)."""
+    params = params or ModelParams()
+    designs = [Design.STATE_OF_THE_ART, Design.FADE, Design.KIWI, Design.LETHE]
+    per_design = {
+        design: CostModel(params, design, policy).all_rows(d_th) for design in designs
+    }
+    table: dict[str, dict[str, Table2Cell]] = {}
+    for row_key, _label in _ROW_ORDER:
+        baseline = per_design[Design.STATE_OF_THE_ART][row_key]
+        table[row_key] = {}
+        for design in designs:
+            value = per_design[design][row_key]
+            table[row_key][design.value] = Table2Cell(
+                value=value, marker=_marker(design, row_key, value, baseline)
+            )
+    return table
+
+
+def render_table2(
+    params: ModelParams | None = None,
+    policy: Policy = Policy.LEVELING,
+    d_th: float | None = 60.0,
+) -> str:
+    """The printable comparative-analysis table."""
+    table = compute_table2(params, policy, d_th)
+    designs = ["state_of_the_art", "fade", "kiwi", "lethe"]
+    header = ["Metric".ljust(28)] + [d.replace("_", " ").ljust(16) for d in designs]
+    lines = [" | ".join(header), "-" * (len(" | ".join(header)))]
+    for row_key, label in _ROW_ORDER:
+        cells = []
+        for design in designs:
+            cell = table[row_key][design]
+            cells.append(f"{cell.value:>12.4g} {cell.marker}".ljust(16))
+        lines.append(" | ".join([label.ljust(28)] + cells))
+    return "\n".join(lines)

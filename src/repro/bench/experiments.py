@@ -1,0 +1,774 @@
+"""Experiment drivers: one function per figure/table of the evaluation (§5).
+
+Every driver returns an :class:`ExperimentResult` whose ``series`` holds
+the exact x→y data the corresponding paper figure plots and whose
+``report`` is a printable summary. The benches under ``benchmarks/`` are
+thin wrappers that execute these drivers and print the report; tests run
+them at ``TEST_SCALE`` and assert the *shape* (who wins, monotonicity,
+crossovers) matches the paper.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.analysis.cost_model import ModelParams, Policy
+from repro.analysis.table2 import render_table2
+from repro.bench.harness import (
+    BENCH_SCALE,
+    ExperimentScale,
+    RunResult,
+    make_baseline,
+    make_lethe,
+    preload_classic_engine,
+    preload_kiwi_engine,
+    run_engine,
+    workload_for,
+)
+from repro.bench.reporting import format_series, format_table, ratio_summary
+from repro.core.config import FileSelectionMode
+from repro.workloads.spec import DeleteKeyMode
+
+# The paper sets D_th to 16.67% / 25% / 50% of the experiment run-time —
+# fractions chosen against a real RocksDB whose natural tombstone retention
+# exceeds 50% of the run (min-overlap file selection can starve tombstone-
+# laden files indefinitely). Our simulated baseline's natural retention is
+# ~15% of the run (its proportionally larger intermediate levels drain by
+# Little's law within that time), so we exercise the same *regime* — D_th
+# below the baseline's natural retention — with proportionally smaller
+# fractions. EXPERIMENTS.md documents the mapping.
+DTH_FRACTIONS = (0.03, 0.05, 0.08)
+DELETE_FRACTIONS = (0.0, 0.02, 0.04, 0.06, 0.08, 0.10)
+
+
+@dataclass
+class ExperimentResult:
+    """Structured outcome of one experiment driver."""
+
+    figure: str
+    series: dict = field(default_factory=dict)
+    report: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.report
+
+
+def _delete_key_domain(
+    mode: DeleteKeyMode, scale: ExperimentScale
+) -> tuple[int, int]:
+    """The secondary-key domain a workload's delete keys actually span."""
+    if mode is DeleteKeyMode.TIMESTAMP:
+        return (1, scale.num_inserts + 1)
+    # UNIFORM draws from the sort-key domain; CORRELATED equals the sort key.
+    return (0, 1 << 30)
+
+
+# ======================================================================
+# Fig 6A–6D share one sweep: {engine} × {delete fraction}
+# ======================================================================
+
+
+def delete_sweep(
+    scale: ExperimentScale = BENCH_SCALE,
+    delete_fractions: tuple[float, ...] = DELETE_FRACTIONS,
+    dth_fractions: tuple[float, ...] = DTH_FRACTIONS,
+) -> dict[str, dict[float, RunResult]]:
+    """Run RocksDB and Lethe(D_th ∈ dth_fractions) over the delete sweep.
+
+    Returns ``results[engine_name][delete_fraction] -> RunResult``. Every
+    engine replays the identical operation list per delete fraction.
+    """
+    results: dict[str, dict[float, RunResult]] = {"RocksDB": {}}
+    for fraction in dth_fractions:
+        results[f"Lethe/{fraction:.0%}"] = {}
+
+    for delete_fraction in delete_fractions:
+        ingest_ops, query_ops, runtime = workload_for(scale, delete_fraction)
+        baseline = make_baseline(scale)
+        results["RocksDB"][delete_fraction] = run_engine(
+            baseline, "RocksDB", ingest_ops, query_ops, runtime
+        )
+        for fraction in dth_fractions:
+            name = f"Lethe/{fraction:.0%}"
+            engine = make_lethe(
+                scale,
+                d_th=fraction * runtime,
+                file_selection=FileSelectionMode.SD,
+            )
+            results[name][delete_fraction] = run_engine(
+                engine, name, ingest_ops, query_ops, runtime
+            )
+    return results
+
+
+def _sweep_figure(
+    sweep: dict[str, dict[float, RunResult]],
+    figure: str,
+    metric: str,
+    headline: str,
+) -> ExperimentResult:
+    engines = list(sweep.keys())
+    fractions = sorted(next(iter(sweep.values())).keys())
+    series = {
+        engine: [getattr(sweep[engine][f], metric) for f in fractions]
+        for engine in engines
+    }
+    rows = [
+        [f"{f:.0%}"] + [_round(series[engine][i]) for engine in engines]
+        for i, f in enumerate(fractions)
+    ]
+    report = format_table(
+        ["deletes"] + engines, rows, title=f"{figure}: {headline}"
+    )
+    return ExperimentResult(
+        figure=figure,
+        series={"delete_fractions": fractions, **series},
+        report=report,
+    )
+
+
+def _round(value: float) -> float:
+    return round(value, 6)
+
+
+def fig6a_space_amplification(sweep=None, scale=BENCH_SCALE) -> ExperimentResult:
+    """Fig 6A: space amplification vs %deletes (Lethe 2.1–9.8× lower)."""
+    sweep = sweep or delete_sweep(scale)
+    return _sweep_figure(
+        sweep, "Fig6A", "space_amplification", "space amplification vs %deletes"
+    )
+
+
+def fig6b_compaction_count(sweep=None, scale=BENCH_SCALE) -> ExperimentResult:
+    """Fig 6B: #compactions vs %deletes (Lethe fewer, larger compactions)."""
+    sweep = sweep or delete_sweep(scale)
+    return _sweep_figure(
+        sweep, "Fig6B", "compactions", "number of compactions vs %deletes"
+    )
+
+
+def fig6c_bytes_written(sweep=None, scale=BENCH_SCALE) -> ExperimentResult:
+    """Fig 6C: total data written vs %deletes (Lethe modestly higher)."""
+    sweep = sweep or delete_sweep(scale)
+    return _sweep_figure(
+        sweep, "Fig6C", "total_bytes_written", "total bytes written vs %deletes"
+    )
+
+
+def fig6d_read_throughput(sweep=None, scale=BENCH_SCALE) -> ExperimentResult:
+    """Fig 6D: read throughput vs %deletes (Lethe up to 1.17–1.4× higher)."""
+    sweep = sweep or delete_sweep(scale)
+    return _sweep_figure(
+        sweep, "Fig6D", "read_throughput", "read throughput (lookups/s) vs %deletes"
+    )
+
+
+# ======================================================================
+# Fig 6E: tombstone age distribution
+# ======================================================================
+
+
+def fig6e_tombstone_ages(
+    scale: ExperimentScale = BENCH_SCALE,
+    delete_fraction: float = 0.10,
+    dth_fractions: tuple[float, ...] = DTH_FRACTIONS,
+) -> ExperimentResult:
+    """Fig 6E: cumulative #tombstones vs age of containing file.
+
+    Lethe must hold *no* tombstone in a file older than D_th; RocksDB
+    retains a large fraction in old files.
+    """
+    ingest_ops, query_ops, runtime = workload_for(
+        scale, delete_fraction, num_point_lookups=0
+    )
+    series: dict = {"runtime": runtime}
+    rows = []
+    curves: list[str] = []
+    baseline = make_baseline(scale)
+    baseline.ingest(ingest_ops)
+    ages = baseline.tombstone_age_distribution()
+    series["RocksDB"] = ages
+    series["RocksDB/cumulative"] = _cumulative_curve(ages)
+    curves.append(_curve_line("RocksDB", ages))
+    rows.append(["RocksDB", "-", len(ages), sum(c for _, c in ages),
+                 _round(max((a for a, _ in ages), default=0.0))])
+    for fraction in dth_fractions:
+        d_th = fraction * runtime
+        engine = make_lethe(
+            scale, d_th=d_th, file_selection=FileSelectionMode.SD
+        )
+        engine.ingest(ingest_ops)
+        ages = engine.tombstone_age_distribution()
+        name = f"Lethe/{fraction:.0%}"
+        series[name] = ages
+        series[f"{name}/cumulative"] = _cumulative_curve(ages)
+        series[f"{name}/d_th"] = d_th
+        curves.append(_curve_line(name, ages))
+        rows.append([name, _round(d_th), len(ages), sum(c for _, c in ages),
+                     _round(max((a for a, _ in ages), default=0.0))])
+    report = format_table(
+        ["engine", "D_th (s)", "files w/ tombstones", "tombstones on disk",
+         "oldest tombstone-file age (s)"],
+        rows,
+        title="Fig6E: tombstone age distribution at snapshot",
+    )
+    report += "\ncumulative #tombstones vs age (the paper's curve):\n"
+    report += "\n".join(curves)
+    return ExperimentResult(figure="Fig6E", series=series, report=report)
+
+
+def _cumulative_curve(ages: list[tuple[float, int]]) -> list[tuple[float, int]]:
+    """Cumulative tombstone count by increasing age — Fig 6E's y-axis."""
+    curve: list[tuple[float, int]] = []
+    running = 0
+    for age, count in ages:  # ages are sorted ascending
+        running += count
+        curve.append((age, running))
+    return curve
+
+
+def _curve_line(name: str, ages: list[tuple[float, int]]) -> str:
+    curve = _cumulative_curve(ages)
+    if not curve:
+        return f"  {name}: (no tombstones on disk)"
+    sampled = curve[:: max(1, len(curve) // 8)]
+    if sampled[-1] != curve[-1]:
+        sampled.append(curve[-1])
+    points = ", ".join(f"{age:.2f}s→{total}" for age, total in sampled)
+    return f"  {name}: {points}"
+
+
+# ======================================================================
+# Fig 6F: write-amplification amortization over time
+# ======================================================================
+
+
+def fig6f_write_amortization(
+    scale: ExperimentScale = BENCH_SCALE,
+    num_snapshots: int = 5,
+    delete_fraction: float = 0.05,
+) -> ExperimentResult:
+    """Fig 6F: Lethe's bytes written, normalized to RocksDB, per snapshot.
+
+    The paper sets D_th to 1/15 of the run and snapshots every 180 s of a
+    900 s run: early eager merging costs ~1.4×, amortizing to ~1.007×.
+    """
+    ingest_ops, _query_ops, runtime = workload_for(
+        scale, delete_fraction, num_point_lookups=0
+    )
+    d_th = runtime / 15.0
+    chunk = max(1, -(-len(ingest_ops) // num_snapshots))  # ceil division
+    baseline = make_baseline(scale)
+    lethe = make_lethe(scale, d_th=d_th)
+    times: list[float] = []
+    normalized: list[float] = []
+    for start in range(0, len(ingest_ops), chunk):
+        ops = ingest_ops[start : start + chunk]
+        baseline.ingest(ops)
+        lethe.ingest(ops)
+        base_bytes = baseline.stats.total_bytes_written
+        lethe_bytes = lethe.stats.total_bytes_written
+        times.append(lethe.clock.now)
+        normalized.append(lethe_bytes / base_bytes if base_bytes else 1.0)
+    report = format_series(
+        "Fig6F normalized bytes written (Lethe / RocksDB) over time",
+        [f"{t:.1f}s" for t in times],
+        [f"{n:.3f}" for n in normalized],
+    )
+    return ExperimentResult(
+        figure="Fig6F",
+        series={"times": times, "normalized_bytes_written": normalized,
+                "d_th": d_th},
+        report=report,
+    )
+
+
+# ======================================================================
+# Fig 6G: latency scaling with data size
+# ======================================================================
+
+
+def fig6g_latency_scaling(
+    scale: ExperimentScale = BENCH_SCALE,
+    size_multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0),
+) -> ExperimentResult:
+    """Fig 6G: avg write / mixed latency vs data size.
+
+    Write latency: simulated I/O time per write op on a write-only load.
+    Mixed latency: I/O+hash time per op on YCSB-A (50% update, 50% read).
+    Lethe writes are 0.1–3% slower; mixed is 0.5–4% faster.
+    """
+    sizes: list[int] = []
+    series: dict[str, list[float]] = {
+        "write-RocksDB": [], "write-Lethe": [],
+        "mixed-RocksDB": [], "mixed-Lethe": [],
+    }
+    for multiplier in size_multipliers:
+        inserts = max(512, int(scale.num_inserts * multiplier))
+        sizes.append(inserts * 1024)  # bytes at E=1KB
+        local = ExperimentScale(
+            num_inserts=inserts,
+            num_point_lookups=0,
+            buffer_pages=scale.buffer_pages,
+            page_entries=scale.page_entries,
+            file_pages=scale.file_pages,
+            seed=scale.seed,
+        )
+        ingest_ops, _q, runtime = workload_for(local, delete_fraction=0.05)
+        d_th = 0.05 * runtime  # inside the binding regime (see DTH_FRACTIONS)
+        for name, factory in (
+            ("RocksDB", lambda: make_baseline(local)),
+            ("Lethe", lambda: make_lethe(local, d_th=d_th)),
+        ):
+            write_engine = factory()
+            write_engine.ingest(op for op in ingest_ops if op[0] != "get")
+            write_ops = sum(1 for op in ingest_ops if op[0] != "get")
+            write_latency = (
+                write_engine.simulated_seconds_io() / max(1, write_ops)
+            )
+            series[f"write-{name}"].append(write_latency * 1e3)  # ms
+
+            mixed_engine = factory()
+            rng = random.Random(local.seed + 1)
+            mixed_ops = 0
+            for op in ingest_ops:
+                mixed_engine.ingest([op])
+                mixed_ops += 1
+                inserted = mixed_engine._key_bounds
+                if inserted is not None and rng.random() < 0.5:
+                    lo, hi = inserted
+                    mixed_engine.get(rng.randint(lo, hi))
+                    mixed_ops += 1
+            mixed_latency = (
+                mixed_engine.simulated_seconds_io()
+                + mixed_engine.simulated_seconds_hashing()
+            ) / max(1, mixed_ops)
+            series[f"mixed-{name}"].append(mixed_latency * 1e3)  # ms
+
+    rows = [
+        [sizes[i]] + [_round(series[key][i]) for key in series]
+        for i in range(len(sizes))
+    ]
+    report = format_table(
+        ["data size (bytes)"] + list(series.keys()),
+        rows,
+        title="Fig6G: average latency (ms) vs data size",
+    )
+    return ExperimentResult(
+        figure="Fig6G", series={"sizes": sizes, **series}, report=report
+    )
+
+
+# ======================================================================
+# Fig 6H: full page drops vs delete fraction, per tile granularity
+# ======================================================================
+
+
+def fig6h_page_drops(
+    scale: ExperimentScale = BENCH_SCALE,
+    h_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    selectivities: tuple[float, ...] = (0.01, 0.02, 0.03, 0.04, 0.05),
+) -> ExperimentResult:
+    """Fig 6H: % of qualifying pages fully dropped, per (h, selectivity).
+
+    Larger tiles → more full drops; larger delete fractions → fewer,
+    because boundary pages are a larger share of the affected range.
+    """
+    series: dict = {"h_values": list(h_values), "selectivities": list(selectivities)}
+    rows = []
+    for h in h_values:
+        file_pages = max(scale.file_pages, h)
+        local_scale = ExperimentScale(
+            num_inserts=scale.num_inserts,
+            buffer_pages=scale.buffer_pages,
+            page_entries=scale.page_entries,
+            file_pages=file_pages,
+            seed=scale.seed,
+        )
+        engine, _gen = preload_kiwi_engine(
+            local_scale, delete_tile_pages=h,
+            delete_key_mode=DeleteKeyMode.UNIFORM,
+        )
+        d_lo, d_hi = _delete_key_domain(DeleteKeyMode.UNIFORM, scale)
+        span = d_hi - d_lo
+        drops = []
+        for selectivity in selectivities:
+            width = max(1, int(span * selectivity))
+            start = d_lo + int(span * 0.4)
+            full, partial, _total = engine.preview_secondary_delete(
+                start, start + width
+            )
+            touched = full + partial
+            drops.append(100.0 * full / touched if touched else 0.0)
+        series[f"h={h}"] = drops
+        rows.append([h] + [f"{d:.1f}%" for d in drops])
+    report = format_table(
+        ["h"] + [f"{s:.0%} deleted" for s in selectivities],
+        rows,
+        title="Fig6H: % full page drops vs fraction deleted",
+    )
+    return ExperimentResult(figure="Fig6H", series=series, report=report)
+
+
+# ======================================================================
+# Fig 6I: lookup cost vs tile granularity
+# ======================================================================
+
+
+def fig6i_lookup_cost(
+    scale: ExperimentScale = BENCH_SCALE,
+    h_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32, 64),
+    num_lookups: int = 400,
+) -> ExperimentResult:
+    """Fig 6I: avg point-lookup I/Os vs h (zero and non-zero result).
+
+    Zero-result lookups cost ``O(h·FPR)`` extra false-positive page reads;
+    non-zero lookups pay the one true read plus the same FP overhead —
+    both grow linearly with h.
+    """
+    series: dict = {"h_values": list(h_values)}
+    nonzero_costs = []
+    zero_costs = []
+    for h in h_values:
+        file_pages = max(scale.file_pages, h)
+        local_scale = ExperimentScale(
+            num_inserts=scale.num_inserts,
+            buffer_pages=scale.buffer_pages,
+            page_entries=scale.page_entries,
+            file_pages=file_pages,
+            seed=scale.seed,
+        )
+        engine, generator = preload_kiwi_engine(local_scale, delete_tile_pages=h)
+        rng = random.Random(scale.seed + 2)
+        inserted = generator.inserted_keys
+
+        engine.stats.reset_read_counters()
+        for _ in range(num_lookups):
+            engine.get(inserted[rng.randrange(len(inserted))])
+        nonzero_costs.append(engine.stats.average_lookup_ios())
+
+        engine.stats.reset_read_counters()
+        inserted_set = set(inserted)
+        lo, hi = 0, 1 << 30  # inside the key domain, but absent keys
+        issued = 0
+        while issued < num_lookups:
+            key = rng.randint(lo, hi)
+            if key in inserted_set:
+                continue
+            engine.get(key)
+            issued += 1
+        zero_costs.append(engine.stats.average_lookup_ios())
+    series["nonzero_result"] = nonzero_costs
+    series["zero_result"] = zero_costs
+    rows = [
+        [h, _round(nonzero_costs[i]), _round(zero_costs[i])]
+        for i, h in enumerate(h_values)
+    ]
+    report = format_table(
+        ["h", "non-zero result (I/Os)", "zero result (I/Os)"],
+        rows,
+        title="Fig6I: avg lookup cost vs delete-tile granularity",
+    )
+    return ExperimentResult(figure="Fig6I", series=series, report=report)
+
+
+# ======================================================================
+# Fig 6J: optimal layout vs secondary-delete selectivity
+# ======================================================================
+
+
+def fig6j_optimal_layout(
+    scale: ExperimentScale = BENCH_SCALE,
+    h_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    selectivities: tuple[float, ...] = (0.01, 0.02, 0.03, 0.04, 0.05),
+    lookups_per_srd: float | None = None,
+) -> ExperimentResult:
+    """Fig 6J: avg I/Os per operation vs selectivity, per h.
+
+    Composes measured unit costs — point-lookup I/Os per h (Fig 6I
+    machinery) and secondary-range-delete I/Os per (h, selectivity) — at a
+    fixed lookup:SRD frequency ratio. The paper uses 1 SRD per 0.1 M
+    lookups on a 10^8-page database; we keep the *relative weight*
+    (SRD pages per lookup) comparable by scaling the ratio with tree size,
+    so the crossover structure survives the scale-down.
+    """
+    series: dict = {
+        "h_values": list(h_values),
+        "selectivities": list(selectivities),
+    }
+    lookup_cost: dict[int, float] = {}
+    srd_cost: dict[tuple[int, float], float] = {}
+    total_pages = None
+    rng = random.Random(scale.seed + 3)
+    for h in h_values:
+        file_pages = max(scale.file_pages, h)
+        local_scale = ExperimentScale(
+            num_inserts=scale.num_inserts,
+            buffer_pages=scale.buffer_pages,
+            page_entries=scale.page_entries,
+            file_pages=file_pages,
+            seed=scale.seed,
+        )
+        engine, generator = preload_kiwi_engine(
+            local_scale, delete_tile_pages=h, delete_key_mode=DeleteKeyMode.UNIFORM
+        )
+        total_pages = sum(f.num_pages for f in engine.tree.all_files())
+        inserted = generator.inserted_keys
+        engine.stats.reset_read_counters()
+        for _ in range(300):
+            engine.get(inserted[rng.randrange(len(inserted))])
+        lookup_cost[h] = engine.stats.average_lookup_ios()
+        d_lo_dom, d_hi_dom = _delete_key_domain(DeleteKeyMode.UNIFORM, scale)
+        span = d_hi_dom - d_lo_dom
+        for selectivity in selectivities:
+            width = max(1, int(span * selectivity))
+            start = d_lo_dom + int(span * 0.4)
+            full, partial, _ = engine.preview_secondary_delete(start, start + width)
+            # Partial drops cost one read plus one write each.
+            srd_cost[(h, selectivity)] = 2.0 * partial
+    if lookups_per_srd is None:
+        # Paper-equivalent weighting: on the paper's preloaded database a
+        # classic-layout SRD costs ~2·pages I/Os and the 10^-6 SRD:lookup
+        # ratio makes that contribute ~0.5 I/O per operation. Scaling the
+        # ratio with our page count keeps that relative weight, so the
+        # crossover structure survives the scale-down.
+        lookups_per_srd = max(1.0, (total_pages or 1) / 2.0)
+    rows = []
+    per_h: dict[int, list[float]] = {h: [] for h in h_values}
+    for selectivity in selectivities:
+        row = [f"{selectivity:.0%}"]
+        for h in h_values:
+            average = (
+                lookups_per_srd * lookup_cost[h] + srd_cost[(h, selectivity)]
+            ) / (lookups_per_srd + 1)
+            per_h[h].append(average)
+            row.append(_round(average))
+        best = min(h_values, key=lambda h: per_h[h][-1])
+        row.append(best)
+        rows.append(row)
+    series.update({f"h={h}": per_h[h] for h in h_values})
+    series["optimal_h"] = [
+        min(h_values, key=lambda h: per_h[h][i]) for i in range(len(selectivities))
+    ]
+    report = format_table(
+        ["selectivity"] + [f"h={h}" for h in h_values] + ["optimal h"],
+        rows,
+        title="Fig6J: avg I/Os per operation vs secondary-delete selectivity",
+    )
+    return ExperimentResult(figure="Fig6J", series=series, report=report)
+
+
+# ======================================================================
+# Fig 6K: CPU vs I/O trade-off
+# ======================================================================
+
+
+def fig6k_cpu_io_tradeoff(
+    scale: ExperimentScale = BENCH_SCALE,
+    h_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    num_queries: int = 600,
+) -> ExperimentResult:
+    """Fig 6K: total hashing time vs I/O time per tile granularity.
+
+    Workload of §5.2: point queries, a few short range queries, and one
+    secondary range delete removing 1/7 of the database (the "delete data
+    older than 7 days" pattern). Hashing cost grows linearly with h but is
+    three orders of magnitude cheaper than page I/O, so larger tiles win
+    overall until lookups dominate.
+    """
+    series: dict = {"h_values": list(h_values)}
+    rows = []
+    io_seconds = []
+    hash_seconds = []
+
+    def _measure(engine, generator) -> tuple[float, float]:
+        inserted = generator.inserted_keys
+        rng = random.Random(scale.seed + 4)
+        before_io = engine.simulated_seconds_io()
+        before_hash = engine.simulated_seconds_hashing()
+        # 50% point queries / 1% range queries against the query budget.
+        for _ in range(num_queries):
+            engine.get(inserted[rng.randrange(len(inserted))])
+        for _ in range(max(1, num_queries // 50)):
+            start = inserted[rng.randrange(len(inserted))]
+            engine.scan(start, start + 1000)
+        # One secondary range delete of 1/7th of the delete-key domain
+        # ("delete all data older than 7 days").
+        d_lo_dom, d_hi_dom = _delete_key_domain(DeleteKeyMode.UNIFORM, scale)
+        engine.secondary_range_delete(
+            d_lo_dom, d_lo_dom + max(1, (d_hi_dom - d_lo_dom) // 7)
+        )
+        return (
+            engine.simulated_seconds_io() - before_io,
+            engine.simulated_seconds_hashing() - before_hash,
+        )
+
+    baseline_engine, baseline_gen = preload_classic_engine(
+        scale, delete_key_mode=DeleteKeyMode.UNIFORM
+    )
+    base_io, base_hash = _measure(baseline_engine, baseline_gen)
+    rows.append(["RocksDB", f"{base_io*1e3:.3f}", f"{base_hash*1e6:.2f}",
+                 f"{(base_io + base_hash)*1e3:.3f}"])
+    series["rocksdb_io_seconds"] = base_io
+    series["rocksdb_hash_seconds"] = base_hash
+
+    for h in h_values:
+        file_pages = max(scale.file_pages, h)
+        local_scale = ExperimentScale(
+            num_inserts=scale.num_inserts,
+            buffer_pages=scale.buffer_pages,
+            page_entries=scale.page_entries,
+            file_pages=file_pages,
+            seed=scale.seed,
+        )
+        engine, generator = preload_kiwi_engine(
+            local_scale, delete_tile_pages=h, delete_key_mode=DeleteKeyMode.UNIFORM
+        )
+        io_s, hash_s = _measure(engine, generator)
+        io_seconds.append(io_s)
+        hash_seconds.append(hash_s)
+        rows.append([f"Lethe h={h}", f"{io_s*1e3:.3f}", f"{hash_s*1e6:.2f}",
+                     f"{(io_s + hash_s)*1e3:.3f}"])
+    series["io_seconds"] = io_seconds
+    series["hash_seconds"] = hash_seconds
+    best_h = h_values[min(range(len(h_values)),
+                          key=lambda i: io_seconds[i] + hash_seconds[i])]
+    series["optimal_h"] = best_h
+    report = format_table(
+        ["engine", "I/O time (ms)", "hash time (µs)", "total (ms)"],
+        rows,
+        title=f"Fig6K: CPU vs I/O trade-off (optimal h = {best_h})",
+    )
+    return ExperimentResult(figure="Fig6K", series=series, report=report)
+
+
+# ======================================================================
+# Fig 6L: sort/delete key correlation
+# ======================================================================
+
+
+def fig6l_correlation(
+    scale: ExperimentScale = BENCH_SCALE,
+    h_values: tuple[int, ...] = (1, 2, 4, 8, 16, 32),
+    delete_selectivity: float = 0.10,
+    num_range_queries: int = 100,
+) -> ExperimentResult:
+    """Fig 6L: correlation between S and D decides whether tiles help.
+
+    With no correlation, growing h raises the full-page-drop share (range
+    deletes get cheap) at the cost of range-query I/Os. With correlation
+    ≈ 1, qualifying entries are already clustered in S-order: the classic
+    layout (h = 1) is optimal and tiles buy nothing.
+    """
+    series: dict = {"h_values": list(h_values)}
+    rows = []
+    for mode, label in (
+        (DeleteKeyMode.UNIFORM, "no correlation"),
+        (DeleteKeyMode.CORRELATED, "cor = 1"),
+    ):
+        full_drop_pct = []
+        range_query_cost = []
+        for h in h_values:
+            file_pages = max(scale.file_pages, h)
+            local_scale = ExperimentScale(
+                num_inserts=scale.num_inserts,
+                buffer_pages=scale.buffer_pages,
+                page_entries=scale.page_entries,
+                file_pages=file_pages,
+                seed=scale.seed,
+            )
+            engine, generator = preload_kiwi_engine(
+                local_scale, delete_tile_pages=h, delete_key_mode=mode
+            )
+            d_lo_dom, d_hi_dom = _delete_key_domain(mode, scale)
+            width = max(1, int((d_hi_dom - d_lo_dom) * delete_selectivity))
+            d_start = d_lo_dom + (d_hi_dom - d_lo_dom) // 3
+            d_end = d_start + width
+            full, partial, total = engine.preview_secondary_delete(d_start, d_end)
+            full_drop_pct.append(100.0 * full / total if total else 0.0)
+
+            rng = random.Random(scale.seed + 5)
+            inserted = generator.inserted_keys
+            engine.stats.reset_read_counters()
+            for _ in range(num_range_queries):
+                start = inserted[rng.randrange(len(inserted))]
+                engine.scan(start, start + 500)
+            pages = engine.stats.lookup_pages_read / num_range_queries
+            range_query_cost.append(pages)
+        series[f"{label}/full_drop_pct"] = full_drop_pct
+        series[f"{label}/range_query_cost"] = range_query_cost
+        for i, h in enumerate(h_values):
+            rows.append(
+                [label, h, f"{full_drop_pct[i]:.1f}%", _round(range_query_cost[i])]
+            )
+    report = format_table(
+        ["workload", "h", "% pages full-dropped", "range query I/Os"],
+        rows,
+        title="Fig6L: effect of sort/delete key correlation",
+    )
+    return ExperimentResult(figure="Fig6L", series=series, report=report)
+
+
+# ======================================================================
+# Table 2 and Figure 1
+# ======================================================================
+
+
+def table2_cost_model() -> ExperimentResult:
+    """Table 2: the analytical comparison at Table 1 reference values."""
+    leveled = render_table2(ModelParams(), Policy.LEVELING)
+    tiered = render_table2(ModelParams(), Policy.TIERING)
+    report = (
+        "Table 2 (leveling)\n" + leveled + "\n\nTable 2 (tiering)\n" + tiered
+    )
+    return ExperimentResult(figure="Table2", series={}, report=report)
+
+
+def fig1_summary(
+    scale: ExperimentScale = BENCH_SCALE, delete_fraction: float = 0.10
+) -> ExperimentResult:
+    """Fig 1: the qualitative positioning, derived from measured numbers.
+
+    One run per engine at 10% deletes; reports the six radar axes of
+    Fig 1A: lookup cost, delete persistence, space amp, write amp,
+    memory footprint, update cost.
+    """
+    ingest_ops, query_ops, runtime = workload_for(scale, delete_fraction)
+    d_th = 0.05 * runtime  # inside the binding regime (see DTH_FRACTIONS)
+    baseline = run_engine(
+        make_baseline(scale), "RocksDB", ingest_ops, query_ops, runtime
+    )
+    lethe = run_engine(
+        make_lethe(scale, d_th=d_th, file_selection=FileSelectionMode.SD),
+        "Lethe", ingest_ops, query_ops, runtime,
+    )
+    base_persist = baseline.engine.max_tombstone_file_age()
+    lethe_persist = lethe.engine.max_tombstone_file_age()
+    lines = [
+        "Fig1: state of the art vs Lethe (measured, 10% deletes)",
+        ratio_summary("lookup cost (I/Os)", lethe.avg_lookup_ios,
+                      baseline.avg_lookup_ios),
+        ratio_summary("space amplification", lethe.space_amplification,
+                      baseline.space_amplification),
+        ratio_summary("write amplification", lethe.write_amplification,
+                      baseline.write_amplification) + "  [Lethe pays here]",
+        f"delete persistence: Lethe oldest tombstone-file age "
+        f"{lethe_persist:.2f}s (D_th={d_th:.2f}s) vs RocksDB "
+        f"{base_persist:.2f}s (unbounded)",
+    ]
+    return ExperimentResult(
+        figure="Fig1",
+        series={
+            "lethe_lookup_ios": lethe.avg_lookup_ios,
+            "baseline_lookup_ios": baseline.avg_lookup_ios,
+            "lethe_samp": lethe.space_amplification,
+            "baseline_samp": baseline.space_amplification,
+            "lethe_wamp": lethe.write_amplification,
+            "baseline_wamp": baseline.write_amplification,
+            "lethe_persistence_age": lethe_persist,
+            "baseline_persistence_age": base_persist,
+            "d_th": d_th,
+        },
+        report="\n".join(lines),
+    )

@@ -1,0 +1,62 @@
+"""Plain-text reporting helpers for the experiment drivers.
+
+Every bench prints the same rows/series the paper's figures plot, so a
+reader can put the outputs side by side with Fig. 6 and check the shape:
+who wins, by what factor, and where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Fixed-width table: headers, separator, one line per row."""
+    materialized = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
+    """One named series as ``name: (x → y), ...`` for quick scanning."""
+    pairs = ", ".join(f"{_fmt(x)}→{_fmt(y)}" for x, y in zip(xs, ys))
+    return f"{name}: {pairs}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def ratio_summary(label: str, lethe_value: float, baseline_value: float) -> str:
+    """'label: Lethe x vs baseline y (r× better/worse)' one-liner."""
+    if baseline_value == 0 and lethe_value == 0:
+        return f"{label}: both 0"
+    if lethe_value == 0:
+        return f"{label}: Lethe 0 vs baseline {_fmt(baseline_value)} (∞× better)"
+    ratio = baseline_value / lethe_value
+    direction = "better" if ratio >= 1 else "worse"
+    shown = ratio if ratio >= 1 else 1 / ratio
+    return (
+        f"{label}: Lethe {_fmt(lethe_value)} vs baseline "
+        f"{_fmt(baseline_value)} ({shown:.2f}× {direction})"
+    )

@@ -1,0 +1,265 @@
+"""Compaction executor: performs the merge a policy chose.
+
+Responsibilities: select the overlapping victim files in the target level,
+run the k-way merge with tombstone semantics, materialize the output run
+in the active layout, install it, release consumed files, charge all I/O
+and byte counters, and notify the engine of every tombstone that became
+persistent (for delete-persistence-latency accounting).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.config import CompactionTrigger, EngineConfig
+from repro.core.stats import Statistics
+from repro.lsm.builder import build_run
+from repro.lsm.iterator import merge_for_compaction
+from repro.lsm.manifest import Manifest
+from repro.lsm.runfile import RunFile
+from repro.lsm.tree import LSMTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.entry import RangeTombstone
+
+from repro.compaction.base import CompactionTask
+
+# Callback invoked once per point/range tombstone that left the system —
+# either persisted at the last level or superseded during a merge.
+TombstoneCallback = Callable[[object], None]
+
+
+class CompactionExecutor:
+    """Stateless executor bound to one engine's shared components."""
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        disk: SimulatedDisk,
+        stats: Statistics,
+        manifest: Manifest,
+        on_tombstone_persisted: TombstoneCallback | None = None,
+    ):
+        self.config = config
+        self.disk = disk
+        self.stats = stats
+        self.manifest = manifest
+        self.on_tombstone_persisted = on_tombstone_persisted
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def execute(self, tree: LSMTree, task: CompactionTask, now: float) -> list[RunFile]:
+        """Run one compaction task; returns the files it produced."""
+        self.manifest.begin_version()
+        source_level = tree.level(task.source_level)
+        target_level = tree.ensure_level(task.target_level)
+
+        victims = self._victims(tree, task)
+        participants = task.source_files + victims
+
+        if self._is_trivial_move(tree, task, victims):
+            return self._trivial_move(tree, task, now)
+
+        into_last_level = self._lands_in_last_level(tree, task, victims)
+
+        streams = [f.entries() for f in participants]
+        range_tombstones = [
+            rt for f in participants for rt in f.range_tombstones
+        ]
+        extra_cover = self._upper_level_cover(tree, task, participants)
+
+        outcome = merge_for_compaction(
+            streams,
+            range_tombstones,
+            into_last_level=into_last_level,
+            extra_cover_tombstones=extra_cover,
+        )
+
+        # --- I/O and byte accounting -----------------------------------
+        pages_in = sum(f.num_pages for f in participants)
+        bytes_in = sum(f.size_bytes for f in participants)
+        self.disk.charge_read(pages_in)
+        self.stats.compaction_bytes_read += bytes_in
+        self.stats.compaction_entries_in += sum(
+            f.meta.num_entries for f in participants
+        )
+
+        output_files = build_run(
+            outcome.entries,
+            outcome.range_tombstones,
+            config=self.config,
+            disk=self.disk,
+            stats=self.stats,
+            now=now,
+            level=task.target_level,
+        )
+        pages_out = sum(f.num_pages for f in output_files)
+        bytes_out = sum(f.size_bytes for f in output_files)
+        self.disk.charge_write(pages_out)
+        self.stats.compaction_bytes_written += bytes_out
+        self.stats.compaction_entries_out += len(outcome.entries)
+        self.stats.invalid_entries_purged += outcome.invalid_entries_dropped
+        self.stats.tombstones_dropped += len(outcome.dropped_tombstones) + len(
+            outcome.dropped_range_tombstones
+        )
+
+        if self.on_tombstone_persisted is not None:
+            for tombstone in outcome.dropped_tombstones:
+                self.on_tombstone_persisted(tombstone)
+            for rt in outcome.dropped_range_tombstones:
+                self.on_tombstone_persisted(rt)
+
+        # --- installation ----------------------------------------------
+        self._install(tree, task, victims, output_files)
+        self._account_trigger(task)
+        return output_files
+
+    # ------------------------------------------------------------------
+    # Pieces
+    # ------------------------------------------------------------------
+
+    def _victims(self, tree: LSMTree, task: CompactionTask) -> list[RunFile]:
+        """Overlapping files in the target level that must join the merge."""
+        if task.target_level == task.source_level:
+            return []  # self-compaction rewrites the chosen files alone
+        if task.install_as_run:
+            return []  # tiered install: the output is its own run
+        target = tree.ensure_level(task.target_level)
+        source_ids = {id(f) for f in task.source_files}
+        lo = min(f.min_key for f in task.source_files)
+        hi = max(f.max_key for f in task.source_files)
+        return [
+            f
+            for f in target.overlapping_files(lo, hi)
+            if id(f) not in source_ids
+        ]
+
+    def _is_trivial_move(
+        self, tree: LSMTree, task: CompactionTask, victims: list[RunFile]
+    ) -> bool:
+        """A file can move down without rewriting when nothing overlaps it
+        and no tombstone work is due (§4.1.3 "when there are no overlapping
+        keys ... b remains unchanged").
+
+        Moving into the last level must rewrite files that carry
+        tombstones: a trivial move would never drop them.
+        """
+        if task.whole_level or victims or task.target_level == task.source_level:
+            return False
+        if len(task.source_files) != 1:
+            return False
+        source = task.source_files[0]
+        lands_last = self._lands_in_last_level(tree, task, victims)
+        if lands_last and source.meta.has_tombstones:
+            return False
+        target = tree.level(task.target_level)
+        if target.run_count > 1:
+            return False
+        return True
+
+    def _trivial_move(
+        self, tree: LSMTree, task: CompactionTask, now: float
+    ) -> list[RunFile]:
+        """Relocate the file's metadata; no page I/O at all."""
+        source = task.source_files[0]
+        tree.level(task.source_level).remove_files([source])
+        tree.level(task.target_level).insert_into_run([source])
+        # §4.1.3: for moved files "amax is recalculated based on the time
+        # of the latest compaction" — the level clock restarts.
+        source.meta.level_arrival_time = now
+        self.manifest.log_move(
+            source.meta.file_number,
+            task.target_level,
+            reason=f"trivial-move:{task.trigger.value}",
+        )
+        self.stats.compactions += 1
+        self._account_trigger(task, count_compaction=False)
+        return [source]
+
+    def _lands_in_last_level(
+        self, tree: LSMTree, task: CompactionTask, victims: list[RunFile]
+    ) -> bool:
+        """True when the output may drop tombstones: no data lives deeper
+        than the target, and (for tiered targets) no *other* run at the
+        target level could hold older versions."""
+        target_number = task.target_level
+        if not tree.is_last_level(target_number):
+            return False
+        target = tree.level(target_number)
+        participating = {id(f) for f in task.source_files} | {id(f) for f in victims}
+        non_participating = [
+            f for f in target.files() if id(f) not in participating
+        ]
+        if not non_participating:
+            return True
+        if task.install_as_run and task.target_level != task.source_level:
+            # The output lands as a *separate* run next to existing runs
+            # that may hold older versions of merged keys.
+            return False
+        # Leveled single-run target: non-participating files are disjoint
+        # from the merged key range (they were not selected as victims), so
+        # they cannot hide older versions. Multi-run targets can.
+        return target.run_count == 1
+
+    def _upper_level_cover(
+        self, tree: LSMTree, task: CompactionTask, participants: list[RunFile]
+    ) -> list[RangeTombstone]:
+        """Range tombstones above the source level covering the merged range.
+
+        They are newer than anything being merged, so any covered entry can
+        be purged now; the tombstones themselves stay in their own files.
+        """
+        lo = min(f.min_key for f in participants)
+        hi = max(f.max_key for f in participants)
+        cover: list[RangeTombstone] = []
+        for level in tree.levels[: task.source_level - 1]:
+            for run_file in level.files():
+                for rt in run_file.range_tombstones:
+                    if rt.overlaps_keys(lo, hi):
+                        cover.append(rt)
+        return cover
+
+    def _install(
+        self,
+        tree: LSMTree,
+        task: CompactionTask,
+        victims: list[RunFile],
+        output_files: list[RunFile],
+    ) -> None:
+        source_level = tree.level(task.source_level)
+        target_level = tree.level(task.target_level)
+
+        source_level.remove_files(task.source_files)
+        if victims:
+            target_level.remove_files(victims)
+
+        if task.source_level == task.target_level:
+            # Self-compaction: output replaces the sources in place.
+            target_level.insert_into_run(output_files)
+        elif task.install_as_run:
+            target_level.add_run(output_files)
+        else:
+            target_level.insert_into_run(output_files)
+
+        for consumed in list(task.source_files) + victims:
+            self.manifest.log_remove(
+                consumed.meta.file_number, reason=f"compacted:{task.trigger.value}"
+            )
+            self.disk.free(consumed.disk_file_id)
+        for produced in output_files:
+            self.manifest.log_add(
+                produced.meta.file_number,
+                task.target_level,
+                reason=f"compaction-output:{task.trigger.value}",
+            )
+
+    def _account_trigger(
+        self, task: CompactionTask, count_compaction: bool = True
+    ) -> None:
+        if count_compaction:
+            self.stats.compactions += 1
+        if task.trigger is CompactionTrigger.TTL_EXPIRY:
+            self.stats.ttl_triggered_compactions += 1
+        else:
+            self.stats.saturation_triggered_compactions += 1

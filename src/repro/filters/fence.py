@@ -1,0 +1,146 @@
+"""Fence pointers on the sort key and delete fence pointers on the delete key.
+
+§2: classic fence pointers keep the smallest sort key of every disk page in
+memory, so a point lookup reads at most one page per run. §4.2.3: KiWi
+keeps fence pointers on ``S`` *per delete tile* (which tile may hold the
+key) and, per tile, **delete fence pointers** on ``D`` *per page* — the
+structure that lets a secondary range delete identify full-page drops
+"without loading and searching the contents of a delete tile".
+
+Our delete fences store the (min, max) delete key per page rather than the
+paper's min-only description: within a tile pages are sorted on ``D``, so
+max(page p) ≤ min(page p+1) and min-only fences *almost* suffice, but when
+equal delete keys straddle a page boundary a min-only test can mistakenly
+classify a boundary page as fully covered. Storing the max closes that
+correctness gap at the cost of one extra key per page of metadata (the
+memory model in §4.2.3 is adjusted accordingly in ``analysis/cost_model``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Sequence
+
+
+class FencePointers:
+    """Smallest sort key per unit (page or delete tile), binary-searchable.
+
+    Parameters
+    ----------
+    min_keys:
+        Smallest sort key of each unit, in unit order (must be sorted —
+        units within a file partition the key space in order).
+    """
+
+    __slots__ = ("_min_keys",)
+
+    def __init__(self, min_keys: Sequence[Any]):
+        keys = list(min_keys)
+        if any(keys[i] > keys[i + 1] for i in range(len(keys) - 1)):
+            raise ValueError("fence pointer keys must be non-decreasing")
+        self._min_keys = keys
+
+    def __len__(self) -> int:
+        return len(self._min_keys)
+
+    @property
+    def min_keys(self) -> tuple[Any, ...]:
+        return tuple(self._min_keys)
+
+    def locate(self, key: Any) -> int | None:
+        """Index of the unit that may contain ``key`` (None if before all).
+
+        Returns the last unit whose min key is ``<= key``; the caller
+        bounds the search with the unit's own max key if it tracks one.
+        """
+        if not self._min_keys:
+            return None
+        index = bisect_right(self._min_keys, key) - 1
+        return index if index >= 0 else None
+
+    def locate_range(self, lo: Any, hi: Any) -> range:
+        """Indices of units that may intersect the closed range ``[lo, hi]``."""
+        if not self._min_keys or hi < self._min_keys[0]:
+            return range(0)
+        start = bisect_right(self._min_keys, lo) - 1
+        if start < 0:
+            start = 0
+        stop = bisect_right(self._min_keys, hi)
+        return range(start, stop)
+
+
+class DeleteFencePointers:
+    """Per-page (min, max) delete keys within one delete tile.
+
+    Built once when the tile is written; answers, for a secondary range
+    delete ``[d_lo, d_hi)``:
+
+    * which pages are **fully covered** (every entry's ``D`` inside the
+      range) → full page drops, zero I/O;
+    * which pages are **partially covered** → must be read, filtered, and
+      rewritten (partial page drops, ≤ the two boundary pages per tile
+      when the tile is D-sorted).
+
+    Pages containing any entry without a delete key can never be fully
+    dropped and are reported as partial when they intersect the range.
+    """
+
+    __slots__ = ("_bounds",)
+
+    def __init__(self, bounds: Sequence[tuple[Any, Any] | None]):
+        """``bounds[i]`` is ``(min_d, max_d)`` of page i, or ``None`` when
+        page i holds at least one entry lacking a delete key."""
+        checked: list[tuple[Any, Any] | None] = []
+        for bound in bounds:
+            if bound is not None:
+                min_d, max_d = bound
+                if min_d > max_d:
+                    raise ValueError(f"page delete-key bounds inverted: {bound}")
+            checked.append(bound)
+        self._bounds = checked
+
+    def __len__(self) -> int:
+        return len(self._bounds)
+
+    @property
+    def bounds(self) -> tuple[tuple[Any, Any] | None, ...]:
+        return tuple(self._bounds)
+
+    def classify(self, d_lo: Any, d_hi: Any) -> tuple[list[int], list[int]]:
+        """Split pages into (fully_covered, partially_covered) for
+        the half-open delete range ``[d_lo, d_hi)``.
+
+        Pages that do not intersect the range appear in neither list.
+        """
+        full: list[int] = []
+        partial: list[int] = []
+        for index, bound in enumerate(self._bounds):
+            if bound is None:
+                # Unknown delete keys: conservatively treat as partial if
+                # the page could intersect (we cannot rule it out).
+                partial.append(index)
+                continue
+            min_d, max_d = bound
+            if max_d < d_lo or min_d >= d_hi:
+                continue  # disjoint from the delete range
+            if d_lo <= min_d and max_d < d_hi:
+                full.append(index)
+            else:
+                partial.append(index)
+        return full, partial
+
+    def pages_overlapping(self, d_lo: Any, d_hi: Any) -> list[int]:
+        """Pages whose delete-key span intersects ``[d_lo, d_hi)`` at all.
+
+        Used by secondary range *lookups* (§4.2.5), which benefit from the
+        same D-ordering without dropping anything.
+        """
+        hits: list[int] = []
+        for index, bound in enumerate(self._bounds):
+            if bound is None:
+                hits.append(index)
+                continue
+            min_d, max_d = bound
+            if not (max_d < d_lo or min_d >= d_hi):
+                hits.append(index)
+        return hits

@@ -1,0 +1,191 @@
+"""KiWi tuning: the navigable continuum of storage layouts (§4.2.6, §4.3).
+
+Given the workload mix — fractions of empty point queries, non-empty point
+queries, short range queries, long range queries, secondary range deletes,
+and inserts — Eq. (1) compares the per-operation cost of Lethe's layout at
+tile granularity ``h`` against the state of the art, and Eq. (3) solves
+for the largest ``h`` at which Lethe is no worse:
+
+    h ≤ (N/B) / ( (f_EPQ + f_PQ)/f_SRD · FPR  +  f_SRQ/f_SRD · L )
+
+The paper's worked example (§4.3): a 400 GB database, 4 KB pages, 50 M
+point queries and 10 K short range queries between consecutive range
+deletes, FPR ≈ 0.02, T = 10 → h ≈ 102. ``optimal_tile_granularity``
+reproduces that number and the test-suite pins it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.errors import TuningError
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Operation mix for the layout-tuning cost model.
+
+    Fractions need not sum to one — only ratios against ``f_srd`` matter
+    in Eq. (2)/(3); absolute fractions matter for Eq. (1) workload cost.
+    """
+
+    f_empty_point_query: float = 0.0
+    f_point_query: float = 0.0
+    f_short_range_query: float = 0.0
+    f_long_range_query: float = 0.0
+    f_secondary_range_delete: float = 0.0
+    f_insert: float = 0.0
+    long_range_selectivity: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "f_empty_point_query",
+            "f_point_query",
+            "f_short_range_query",
+            "f_long_range_query",
+            "f_secondary_range_delete",
+            "f_insert",
+            "long_range_selectivity",
+        ):
+            if getattr(self, name) < 0:
+                raise TuningError(f"{name} must be non-negative")
+
+
+def workload_cost(
+    mix: WorkloadMix,
+    h: int,
+    total_entries: int,
+    page_entries: int,
+    fpr: float,
+    levels: int,
+    size_ratio: int = 10,
+) -> float:
+    """Left-hand side of Eq. (1): expected I/O per operation at tile size h.
+
+    Terms (in order): empty point queries pay ``FPR·h`` false-positive page
+    reads; non-empty point queries pay one true read plus ``FPR·h``; short
+    range queries pay ``L·h`` pages; long range queries pay ``s·N/B``;
+    secondary range deletes pay ``N/(B·h)`` boundary-page I/Os; inserts pay
+    their amortized ``log_T(N/B)`` merge cost.
+    """
+    if h < 1:
+        raise TuningError(f"h must be >= 1, got {h}")
+    if total_entries <= 0 or page_entries <= 0:
+        raise TuningError("total_entries and page_entries must be positive")
+    pages = total_entries / page_entries
+    cost = 0.0
+    cost += mix.f_empty_point_query * fpr * h
+    cost += mix.f_point_query * (1.0 + fpr * h)
+    cost += mix.f_short_range_query * levels * h
+    cost += mix.f_long_range_query * mix.long_range_selectivity * pages
+    cost += mix.f_secondary_range_delete * pages / h
+    if mix.f_insert > 0:
+        cost += mix.f_insert * math.log(max(pages, 2), size_ratio)
+    return cost
+
+
+def optimal_tile_granularity(
+    mix: WorkloadMix,
+    total_entries: int,
+    page_entries: int,
+    fpr: float,
+    levels: int,
+) -> int:
+    """Eq. (3): the largest ``h`` at which Lethe beats the state of the art.
+
+    Raises :class:`TuningError` when the workload has no secondary range
+    deletes (the trade-off degenerates: without range deletes any h > 1
+    only hurts reads, so h = 1 — the classic layout — is optimal and this
+    function refuses to guess otherwise).
+    """
+    if mix.f_secondary_range_delete <= 0:
+        raise TuningError(
+            "optimal_tile_granularity requires f_secondary_range_delete > 0; "
+            "with no secondary range deletes the classic layout (h=1) is optimal"
+        )
+    if total_entries <= 0 or page_entries <= 0:
+        raise TuningError("total_entries and page_entries must be positive")
+    pages = total_entries / page_entries
+    point_pressure = (
+        (mix.f_empty_point_query + mix.f_point_query)
+        / mix.f_secondary_range_delete
+        * fpr
+    )
+    range_pressure = (
+        mix.f_short_range_query / mix.f_secondary_range_delete * levels
+    )
+    denominator = point_pressure + range_pressure
+    if denominator <= 0:
+        # No read pressure at all: the bigger the tile the better, bounded
+        # only by the file size; callers clamp to their file_pages.
+        return max(1, int(pages))
+    return max(1, int(pages / denominator))
+
+
+def kiwi_metadata_overhead_bytes(
+    total_entries: int,
+    page_entries: int,
+    h: int,
+    sort_key_bytes: int,
+    delete_key_bytes: int,
+    delete_fence_bounds: int = 1,
+) -> float:
+    """§4.2.3's memory-overhead formula: ``KiWi_mem − SoA_mem``.
+
+    The state of the art keeps one fence key (on S) per *page*; KiWi keeps
+    one fence key (on S) per *tile* plus delete fences (on D) per page:
+
+        N/(B·h)·sizeof(S) + N/B·k_D·sizeof(D) − N/B·sizeof(S)
+
+    ``delete_fence_bounds`` is ``k_D``: the paper stores only the min D per
+    page (1); this library stores (min, max) per page (2) to stay correct
+    when equal delete keys straddle a page boundary (see
+    ``filters/fence.py``). The result can be *negative* — the paper notes
+    that when ``sizeof(D) < sizeof(S)`` KiWi may shrink the metadata.
+    """
+    if total_entries <= 0 or page_entries <= 0 or h < 1:
+        raise TuningError("total_entries, page_entries, and h must be positive")
+    if sort_key_bytes <= 0 or delete_key_bytes <= 0:
+        raise TuningError("key sizes must be positive")
+    if delete_fence_bounds not in (1, 2):
+        raise TuningError("delete_fence_bounds must be 1 (paper) or 2 (ours)")
+    pages = total_entries / page_entries
+    tiles = pages / h
+    kiwi = tiles * sort_key_bytes + pages * delete_fence_bounds * delete_key_bytes
+    classic = pages * sort_key_bytes
+    return kiwi - classic
+
+
+def best_feasible_h(
+    mix: WorkloadMix,
+    total_entries: int,
+    page_entries: int,
+    fpr: float,
+    levels: int,
+    file_pages: int,
+    size_ratio: int = 10,
+) -> int:
+    """The cost-minimizing h among divisors-of-file powers of two.
+
+    Eq. (3) gives the break-even bound; the actual optimum minimizes
+    Eq. (1). We sweep h over powers of two up to ``min(bound, file_pages)``
+    and pick the argmin — this is what Fig 6J's "choosing the optimal
+    storage layout" does per selectivity.
+    """
+    candidates = [1]
+    h = 2
+    while h <= file_pages:
+        if file_pages % h == 0:
+            candidates.append(h)
+        h *= 2
+    best_h = 1
+    best_cost = math.inf
+    for candidate in candidates:
+        cost = workload_cost(
+            mix, candidate, total_entries, page_entries, fpr, levels, size_ratio
+        )
+        if cost < best_cost:
+            best_cost = cost
+            best_h = candidate
+    return best_h

@@ -1,0 +1,123 @@
+"""Run builder: split a sorted entry stream into files of the active layout.
+
+Flushes and compactions both end by materializing a sorted run; this module
+slices the run into files of at most ``config.file_pages`` pages and builds
+either classic :class:`~repro.lsm.sstable.SSTable` files or
+:class:`~repro.kiwi.layout.KiWiFile` files depending on the configured
+delete-tile granularity (``h = 1`` → classic, ``h > 1`` → KiWi).
+
+Range tombstones are attached to the file whose sort-key span contains
+their start (and widen that file's bounds), mirroring how RocksDB stores
+range tombstones in the range-tombstone block of a concrete file.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.config import EngineConfig
+from repro.core.stats import Statistics
+from repro.kiwi.layout import build_kiwi_file
+from repro.lsm.runfile import RunFile
+from repro.lsm.sstable import build_sstable
+from repro.storage.disk import SimulatedDisk
+from repro.storage.entry import Entry, RangeTombstone
+
+
+def build_run(
+    entries: list[Entry],
+    range_tombstones: list[RangeTombstone],
+    config: EngineConfig,
+    disk: SimulatedDisk,
+    stats: Statistics,
+    now: float,
+    level: int,
+) -> list[RunFile]:
+    """Materialize a sorted run as a list of files (S-ordered, disjoint).
+
+    ``entries`` must be sorted on the sort key with unique keys (version
+    resolution happens upstream in the merge); the builder validates order
+    defensively because broken order silently corrupts every later read.
+    """
+    for i in range(len(entries) - 1):
+        if entries[i].key > entries[i + 1].key:
+            raise ValueError(
+                f"run not sorted: {entries[i].key!r} before {entries[i + 1].key!r}"
+            )
+
+    if not entries and not range_tombstones:
+        return []
+
+    build_file = build_kiwi_file if config.kiwi_enabled else build_sstable
+
+    # Slice entries into file-sized chunks first, then route each range
+    # tombstone to the chunk that owns its start key (or the last chunk).
+    chunks: list[list[Entry]] = []
+    for start in range(0, len(entries), config.file_entries):
+        chunks.append(entries[start : start + config.file_entries])
+    if not chunks:
+        chunks = [[]]
+
+    per_chunk_rts: list[list[RangeTombstone]] = [[] for _ in chunks]
+    for rt in sorted(range_tombstones, key=lambda r: (r.start, r.seqnum)):
+        target = len(chunks) - 1
+        for index, chunk in enumerate(chunks):
+            if not chunk:
+                continue
+            last_key = chunk[-1].key
+            if rt.start <= last_key or index == len(chunks) - 1:
+                target = index
+                break
+        per_chunk_rts[target].append(rt)
+
+    files: list[RunFile] = []
+    for chunk, rts in zip(chunks, per_chunk_rts):
+        if not chunk and not rts:
+            continue
+        files.append(
+            build_file(
+                chunk,
+                rts,
+                config=config,
+                disk=disk,
+                stats=stats,
+                now=now,
+                level=level,
+            )
+        )
+    _validate_disjoint(files)
+    return files
+
+
+def _validate_disjoint(files: list[RunFile]) -> None:
+    """Files of one run must cover disjoint, increasing sort-key ranges.
+
+    Range-tombstone bounds may legitimately widen a file past its entry
+    range and overlap a neighbour; entry ranges themselves must not.
+    """
+    previous_max: Any = None
+    for run_file in files:
+        if run_file.meta.num_entries == 0:
+            continue
+        entry_min = _entry_min(run_file)
+        if previous_max is not None and entry_min is not None:
+            if entry_min <= previous_max:
+                raise ValueError(
+                    f"run files overlap: {entry_min!r} <= {previous_max!r}"
+                )
+        entry_max = _entry_max(run_file)
+        if entry_max is not None:
+            previous_max = entry_max
+
+
+def _entry_min(run_file: RunFile) -> Any:
+    for entry in run_file.entries():
+        return entry.key
+    return None
+
+
+def _entry_max(run_file: RunFile) -> Any:
+    last_key = None
+    for entry in run_file.entries():
+        last_key = entry.key
+    return last_key

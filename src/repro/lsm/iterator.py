@@ -1,0 +1,158 @@
+"""K-way merge with LSM version-resolution and tombstone semantics.
+
+Used by compactions (§2: "entries with a matching key are consolidated and
+only the most recent valid entry is retained") and by range lookups (§2:
+"a range lookup returns the most recent versions of the target keys by
+sort-merging the qualifying key ranges across all runs").
+
+The resolution rules (§3.1.1):
+
+* among several versions of a key, the highest seqnum wins; older versions
+  are *invalid* and dropped (compaction) or skipped (reads);
+* a point tombstone is itself retained by intermediate-level compactions —
+  "there might be more (older) entries with the same delete key in
+  subsequent compactions" — and discarded only when the compaction output
+  lands in the **last level**, which is the moment the logical delete
+  becomes persistent;
+* a range tombstone drops every covered older entry it meets; the
+  tombstone itself survives to the output's range-tombstone block except
+  at the last level.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.storage.entry import Entry, RangeTombstone
+
+
+@dataclass
+class MergeOutcome:
+    """What a compaction merge produced and what it eliminated.
+
+    ``entries`` / ``range_tombstones`` form the output run;
+    ``dropped_tombstones`` are point tombstones discarded at the last
+    level, ``dropped_range_tombstones`` likewise;
+    ``invalid_entries_dropped`` counts superseded versions and
+    range-covered entries purged.
+    """
+
+    entries: list[Entry] = field(default_factory=list)
+    range_tombstones: list[RangeTombstone] = field(default_factory=list)
+    dropped_tombstones: list[Entry] = field(default_factory=list)
+    dropped_range_tombstones: list[RangeTombstone] = field(default_factory=list)
+    invalid_entries_dropped: int = 0
+
+
+def merge_sorted_streams(streams: Iterable[Iterator[Entry]]) -> Iterator[Entry]:
+    """Heap-merge S-sorted streams into one stream ordered by sort token.
+
+    For equal keys the most recent version (largest seqnum) comes first,
+    which the resolution pass below relies on.
+    """
+    return heapq.merge(*streams, key=lambda e: e.sort_token())
+
+
+def resolve_versions(
+    merged: Iterable[Entry],
+    range_tombstones: list[RangeTombstone],
+) -> Iterator[Entry]:
+    """Keep the newest version per key, then apply range-tombstone cover.
+
+    Yields the survivor for each distinct key (which may be a point
+    tombstone). Entries covered by a newer range tombstone are dropped
+    even if they are the newest point version of their key.
+    """
+    current_key: Any = object()
+    first_for_key = False
+    for entry in merged:
+        if entry.key != current_key:
+            current_key = entry.key
+            first_for_key = True
+        else:
+            first_for_key = False
+        if not first_for_key:
+            continue
+        if any(rt.covers(entry.key, entry.seqnum) for rt in range_tombstones):
+            continue
+        yield entry
+
+
+def merge_for_compaction(
+    streams: list[Iterator[Entry]],
+    range_tombstones: list[RangeTombstone],
+    into_last_level: bool,
+    extra_cover_tombstones: list[RangeTombstone] | None = None,
+) -> MergeOutcome:
+    """Full compaction merge.
+
+    Parameters
+    ----------
+    streams:
+        S-sorted entry streams of the participating files.
+    range_tombstones:
+        Range tombstones carried by the participating files. They drop
+        covered entries here and are retained in the output (unless the
+        output is the last level).
+    into_last_level:
+        When true, surviving point tombstones and all range tombstones are
+        discarded — this is delete *persistence* (§3.1.1).
+    extra_cover_tombstones:
+        Range tombstones from *upper* levels that are not participating in
+        this compaction. They may cover entries being merged (a newer
+        delete above), but they must NOT be consumed or re-emitted here —
+        they still live in their own files.
+    """
+    outcome = MergeOutcome()
+    covering = list(range_tombstones)
+    if extra_cover_tombstones:
+        covering += extra_cover_tombstones
+
+    merged = merge_sorted_streams(streams)
+    current_key: Any = object()
+    for entry in merged:
+        if entry.key != current_key:
+            current_key = entry.key
+            survivor = True
+        else:
+            survivor = False
+        if not survivor:
+            outcome.invalid_entries_dropped += 1
+            continue
+        if any(rt.covers(entry.key, entry.seqnum) for rt in covering):
+            outcome.invalid_entries_dropped += 1
+            continue
+        if entry.is_tombstone and into_last_level:
+            # Compacted with the last level: nothing older can exist, the
+            # delete is now persistent and the tombstone itself goes away.
+            outcome.dropped_tombstones.append(entry)
+            continue
+        outcome.entries.append(entry)
+
+    if into_last_level:
+        outcome.dropped_range_tombstones.extend(range_tombstones)
+    else:
+        outcome.range_tombstones.extend(
+            sorted(range_tombstones, key=lambda rt: (rt.start, rt.seqnum))
+        )
+    return outcome
+
+
+def merge_for_read(
+    streams: list[Iterator[Entry]],
+    range_tombstones: list[RangeTombstone],
+) -> list[Entry]:
+    """Range-lookup merge: newest live PUT per key, tombstones suppressed.
+
+    Range queries "have to read and discard" tombstones and invalid
+    entries (§3.2.2) — the discarding happens here, after the I/O of
+    fetching them was already paid by the caller.
+    """
+    result: list[Entry] = []
+    for entry in resolve_versions(merge_sorted_streams(streams), range_tombstones):
+        if entry.is_tombstone:
+            continue
+        result.append(entry)
+    return result

@@ -1,0 +1,154 @@
+"""A disk level: one sorted run (leveling) or up to T runs (tiering).
+
+§2: "In leveling, each level may have at most one run ... With tiering,
+every level must accumulate T runs before they are sort-merged." A run is
+a list of files with disjoint sort-key ranges (§2 "Partial Compaction");
+runs within a tiered level may overlap each other and are ordered newest
+first for reads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.core.errors import CompactionError
+from repro.lsm.runfile import RunFile
+
+
+class Level:
+    """One disk level of the tree.
+
+    Parameters
+    ----------
+    number:
+        1-based disk level number.
+    capacity_entries:
+        Nominal capacity (``M · T^number / E`` in entries); the saturation
+        trigger compares against this.
+    """
+
+    def __init__(self, number: int, capacity_entries: int):
+        if number < 1:
+            raise ValueError(f"disk levels are 1-based, got {number}")
+        if capacity_entries < 1:
+            raise ValueError(f"capacity must be positive, got {capacity_entries}")
+        self.number = number
+        self.capacity_entries = capacity_entries
+        # runs[0] is the most recent run; leveling keeps exactly one run.
+        self.runs: list[list[RunFile]] = []
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add_run(self, files: list[RunFile]) -> None:
+        """Install a new (most recent) run — tiering ingest path."""
+        if not files:
+            return
+        for run_file in files:
+            run_file.meta.level = self.number
+        self.runs.insert(0, list(files))
+
+    def merge_into_single_run(self, files: list[RunFile]) -> None:
+        """Replace all runs with one run — leveling ingest path."""
+        for run_file in files:
+            run_file.meta.level = self.number
+        self.runs = [sorted(files, key=lambda f: f.min_key)] if files else []
+        self._validate_single_run()
+
+    def insert_into_run(self, files: list[RunFile]) -> None:
+        """Merge files into the level's single run (partial compaction).
+
+        The incoming files must not overlap the files that remain; the
+        caller removed the overlapping victims before installing output.
+        """
+        if len(self.runs) > 1:
+            raise CompactionError(
+                f"insert_into_run on tiered level {self.number} with "
+                f"{len(self.runs)} runs"
+            )
+        current = self.runs[0] if self.runs else []
+        for run_file in files:
+            run_file.meta.level = self.number
+        merged = sorted(current + list(files), key=lambda f: f.min_key)
+        self.runs = [merged] if merged else []
+        self._validate_single_run()
+
+    def remove_files(self, victims: list[RunFile]) -> None:
+        """Remove files (compaction inputs) from whichever runs hold them."""
+        victim_ids = {id(f) for f in victims}
+        new_runs: list[list[RunFile]] = []
+        for run in self.runs:
+            remaining = [f for f in run if id(f) not in victim_ids]
+            victim_ids -= {id(f) for f in run if id(f) in victim_ids}
+            if remaining:
+                new_runs.append(remaining)
+        if victim_ids:
+            raise CompactionError(
+                f"{len(victim_ids)} victim files not found in level {self.number}"
+            )
+        self.runs = new_runs
+
+    def _validate_single_run(self) -> None:
+        """Leveled runs must have disjoint entry ranges."""
+        if not self.runs:
+            return
+        run = self.runs[0]
+        for left, right in zip(run, run[1:]):
+            if left.meta.num_entries == 0 or right.meta.num_entries == 0:
+                continue
+            if left.max_key >= right.min_key and left.overlaps(right):
+                # Bounds widened by range tombstones may touch; entries must
+                # not interleave, which builder validation already enforced.
+                # Only flag clear entry-range inversions.
+                if left.max_key > right.max_key:
+                    raise CompactionError(
+                        f"level {self.number} run out of order: "
+                        f"{left!r} vs {right!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def files(self) -> Iterator[RunFile]:
+        """All files, most recent run first, S-order within a run."""
+        for run in self.runs:
+            yield from run
+
+    @property
+    def file_count(self) -> int:
+        return sum(len(run) for run in self.runs)
+
+    @property
+    def run_count(self) -> int:
+        return len(self.runs)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(f.meta.num_entries for f in self.files())
+
+    @property
+    def size_bytes(self) -> int:
+        return sum(f.size_bytes for f in self.files())
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.runs
+
+    def is_saturated(self) -> bool:
+        """Level past its nominal capacity (§4.1.4 saturation trigger)."""
+        return self.num_entries > self.capacity_entries
+
+    def overlapping_files(self, lo: Any, hi: Any) -> list[RunFile]:
+        """Files (any run) whose key range intersects ``[lo, hi]``."""
+        return [f for f in self.files() if f.overlaps_range(lo, hi)]
+
+    def tombstone_count(self) -> int:
+        return sum(f.tombstone_count for f in self.files())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Level({self.number}: {self.file_count} files / {self.run_count} runs, "
+            f"{self.num_entries}/{self.capacity_entries} entries)"
+        )

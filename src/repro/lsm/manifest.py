@@ -1,0 +1,103 @@
+"""Manifest: the version log of file additions and removals.
+
+Real LSM engines persist a manifest so restarts can reconstruct the tree;
+our simulated engine uses it for the same bookkeeping role plus invariant
+checking — every compaction logs which files it consumed and produced, and
+tests replay the log to verify that the live-file set in the manifest
+always matches the tree.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+
+class ManifestOp(enum.Enum):
+    ADD = "add"
+    REMOVE = "remove"
+
+
+@dataclass(frozen=True)
+class ManifestEdit:
+    """One file-level change in some version transition."""
+
+    version: int
+    op: ManifestOp
+    file_number: int
+    level: int
+    reason: str
+
+
+@dataclass
+class Manifest:
+    """Append-only edit log plus the derived live-file index."""
+
+    edits: list[ManifestEdit] = field(default_factory=list)
+    _live: dict[int, int] = field(default_factory=dict)  # file_number -> level
+    _version: int = 0
+
+    def begin_version(self) -> int:
+        """Start a new version (one flush or one compaction)."""
+        self._version += 1
+        return self._version
+
+    def log_add(self, file_number: int, level: int, reason: str) -> None:
+        if file_number in self._live:
+            raise ValueError(f"file {file_number} added twice")
+        self.edits.append(
+            ManifestEdit(self._version, ManifestOp.ADD, file_number, level, reason)
+        )
+        self._live[file_number] = level
+
+    def log_remove(self, file_number: int, reason: str) -> None:
+        level = self._live.pop(file_number, None)
+        if level is None:
+            raise ValueError(f"file {file_number} removed but not live")
+        self.edits.append(
+            ManifestEdit(self._version, ManifestOp.REMOVE, file_number, level, reason)
+        )
+
+    def log_move(self, file_number: int, to_level: int, reason: str) -> None:
+        """A trivial move: the file changes level without being rewritten."""
+        if file_number not in self._live:
+            raise ValueError(f"file {file_number} moved but not live")
+        self.edits.append(
+            ManifestEdit(
+                self._version, ManifestOp.REMOVE, file_number, self._live[file_number], reason
+            )
+        )
+        self.edits.append(
+            ManifestEdit(self._version, ManifestOp.ADD, file_number, to_level, reason)
+        )
+        self._live[file_number] = to_level
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    @property
+    def live_files(self) -> dict[int, int]:
+        """file_number → level for every live file."""
+        return dict(self._live)
+
+    def live_at_level(self, level: int) -> set[int]:
+        return {fn for fn, lvl in self._live.items() if lvl == level}
+
+    def replay(self) -> dict[int, int]:
+        """Rebuild the live set from the edit log (consistency check)."""
+        live: dict[int, int] = {}
+        for edit in self.edits:
+            if edit.op is ManifestOp.ADD:
+                live[edit.file_number] = edit.level
+            else:
+                live.pop(edit.file_number, None)
+        return live
+
+    def history(self) -> Iterator[ManifestEdit]:
+        return iter(self.edits)

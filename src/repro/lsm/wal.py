@@ -1,0 +1,156 @@
+"""Write-ahead log with the FADE persistence-aware rolling routine.
+
+§4.1.5 ("Persistence Guarantees"): tombstones retained in the WAL are
+consistently purged as long as the WAL rolls at a periodicity shorter than
+``D_th``; otherwise FADE runs "a dedicated routine that checks all live
+WALs that are older than D_th, copies all live records to a new WAL, and
+discards the records in the older WAL that made it to the disk". This
+module implements both the ordinary flush-driven purge and that routine.
+
+The WAL here is an accounting structure (the simulated disk has no
+durability to protect), but it preserves the paper's invariant that no
+tombstone older than ``D_th`` survives in any log segment — tested in the
+suite as part of the persistence-guarantee property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import WALError
+
+
+@dataclass(frozen=True)
+class WALRecord:
+    """One logged operation."""
+
+    seqnum: int
+    key: Any
+    is_tombstone: bool
+    written_at: float
+
+
+@dataclass
+class WALSegment:
+    """A contiguous chunk of the log, purged as a unit."""
+
+    segment_id: int
+    opened_at: float
+    records: list[WALRecord] = field(default_factory=list)
+
+    @property
+    def max_seqnum(self) -> int:
+        return max((r.seqnum for r in self.records), default=-1)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.records
+
+
+class WriteAheadLog:
+    """Segmented WAL with flush-driven purge and the ``D_th`` routine."""
+
+    def __init__(self, segment_capacity: int = 4096):
+        if segment_capacity < 1:
+            raise WALError(f"segment capacity must be >= 1, got {segment_capacity}")
+        self.segment_capacity = segment_capacity
+        self._segments: list[WALSegment] = []
+        self._next_segment_id = 0
+        self._flushed_seqnum = -1
+        self.segments_purged = 0
+        self.records_rewritten = 0
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+
+    def append(self, seqnum: int, key: Any, is_tombstone: bool, now: float) -> None:
+        """Log one operation before it is applied to the memory buffer."""
+        if seqnum <= self._flushed_seqnum:
+            raise WALError(
+                f"appending seqnum {seqnum} already covered by flush "
+                f"watermark {self._flushed_seqnum}"
+            )
+        if not self._segments or len(self._segments[-1].records) >= self.segment_capacity:
+            self._segments.append(WALSegment(self._next_segment_id, opened_at=now))
+            self._next_segment_id += 1
+        self._segments[-1].records.append(
+            WALRecord(seqnum=seqnum, key=key, is_tombstone=is_tombstone, written_at=now)
+        )
+
+    # ------------------------------------------------------------------
+    # Purge paths
+    # ------------------------------------------------------------------
+
+    def mark_flushed(self, seqnum: int) -> None:
+        """Advance the flush watermark: records ≤ seqnum are on disk.
+
+        Segments wholly below the watermark are purged (normal WAL life).
+        """
+        if seqnum < self._flushed_seqnum:
+            raise WALError(
+                f"flush watermark cannot move backwards "
+                f"({seqnum} < {self._flushed_seqnum})"
+            )
+        self._flushed_seqnum = seqnum
+        survivors = []
+        for segment in self._segments:
+            if segment.max_seqnum <= seqnum and segment.records:
+                self.segments_purged += 1
+            else:
+                survivors.append(segment)
+        self._segments = survivors
+
+    def enforce_persistence_threshold(self, now: float, d_th: float) -> int:
+        """The FADE WAL routine: no live segment may be older than ``D_th``.
+
+        Live records (seqnum above the flush watermark) in over-age
+        segments are copied to a fresh segment; the old segments (and with
+        them every flushed tombstone record) are discarded. Returns the
+        number of segments rewritten.
+        """
+        if d_th <= 0:
+            raise WALError(f"D_th must be positive, got {d_th}")
+        over_age = [s for s in self._segments if now - s.opened_at > d_th]
+        if not over_age:
+            return 0
+        fresh = WALSegment(self._next_segment_id, opened_at=now)
+        self._next_segment_id += 1
+        for segment in over_age:
+            for record in segment.records:
+                if record.seqnum > self._flushed_seqnum:
+                    fresh.records.append(record)
+                    self.records_rewritten += 1
+        keep = [s for s in self._segments if now - s.opened_at <= d_th]
+        if fresh.records:
+            keep.append(fresh)
+        self._segments = keep
+        self.segments_purged += len(over_age)
+        return len(over_age)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def segments(self) -> tuple[WALSegment, ...]:
+        return tuple(self._segments)
+
+    @property
+    def live_records(self) -> int:
+        return sum(len(s.records) for s in self._segments)
+
+    def oldest_segment_age(self, now: float) -> float:
+        """Age of the oldest live segment (0 when the log is empty)."""
+        return max((now - s.opened_at for s in self._segments), default=0.0)
+
+    def oldest_tombstone_age(self, now: float) -> float:
+        """Age of the oldest tombstone record still in the log."""
+        ages = [
+            now - record.written_at
+            for segment in self._segments
+            for record in segment.records
+            if record.is_tombstone
+        ]
+        return max(ages, default=0.0)

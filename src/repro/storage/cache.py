@@ -1,0 +1,83 @@
+"""LRU block cache for the simulated disk.
+
+The paper's evaluation runs RocksDB "with block cache enabled"; this
+module provides the equivalent for the simulated substrate. The cache
+holds page *identities* (each :class:`~repro.storage.page.Page` carries a
+process-unique ``uid``) because the page contents already live in Python
+objects; what the cache changes is the I/O bill: a hit answers a lookup
+without charging a page read.
+
+Correctness falls out of immutability: pages are never modified in place
+(a KiWi partial page drop builds a *new* page with a new uid), so a
+cached uid can never serve stale data — a dropped page's uid simply never
+gets accessed again and ages out of the LRU list.
+
+Only the query path consults the cache. Compactions stream whole files
+and would simply thrash it (RocksDB likewise reads compaction inputs
+outside the block cache by default), so the executor keeps charging bulk
+reads directly.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+class LRUPageCache:
+    """A by-identity page cache with least-recently-used eviction.
+
+    Parameters
+    ----------
+    capacity_pages:
+        Maximum number of pages retained; 0 disables the cache (every
+        access misses and is charged as an I/O).
+    """
+
+    __slots__ = ("capacity_pages", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages < 0:
+            raise ValueError(f"cache capacity must be >= 0, got {capacity_pages}")
+        self.capacity_pages = capacity_pages
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def access(self, page_uid: int) -> bool:
+        """Touch a page; returns True on a hit (no I/O needed).
+
+        On a miss the page is admitted (it was just read from disk),
+        evicting the least recently used entry if at capacity.
+        """
+        if self.capacity_pages == 0:
+            self.misses += 1
+            return False
+        if page_uid in self._entries:
+            self._entries.move_to_end(page_uid)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._entries[page_uid] = None
+        if len(self._entries) > self.capacity_pages:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return False
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits over total accesses (0 when never accessed)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"LRUPageCache({len(self._entries)}/{self.capacity_pages} pages, "
+            f"hit rate {self.hit_rate:.2%})"
+        )

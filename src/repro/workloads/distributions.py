@@ -1,0 +1,134 @@
+"""Key distributions for workload generation.
+
+The paper's default setup ingests entries "uniformly and randomly
+distributed across the key domain ... inserted in random order"; zipfian
+skew is provided for the adversarial-workload discussions of §3.1.1
+(workloads that mostly modify hot data keep the tree structure static and
+recycle tombstones in the upper levels).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Protocol
+
+
+class KeyDistribution(Protocol):
+    """A source of integer keys from a fixed domain."""
+
+    def sample(self) -> int:
+        """Draw one key."""
+        ...
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        """Inclusive (low, high) bounds of the key domain."""
+        ...
+
+
+class UniformKeys:
+    """Uniform keys over ``[low, high]``."""
+
+    def __init__(self, low: int, high: int, rng: random.Random):
+        if low > high:
+            raise ValueError(f"empty key domain [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._rng = rng
+
+    def sample(self) -> int:
+        return self._rng.randint(self._low, self._high)
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        return (self._low, self._high)
+
+
+class SequentialKeys:
+    """Monotonically increasing keys (timestamp-like ingestion).
+
+    Wraps around the domain if exhausted, which no experiment does; the
+    wraparound keeps the generator total.
+    """
+
+    def __init__(self, low: int, high: int):
+        if low > high:
+            raise ValueError(f"empty key domain [{low}, {high}]")
+        self._low = low
+        self._high = high
+        self._next = low
+
+    def sample(self) -> int:
+        key = self._next
+        self._next += 1
+        if self._next > self._high:
+            self._next = self._low
+        return key
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        return (self._low, self._high)
+
+
+class ZipfianKeys:
+    """Zipf-distributed keys (YCSB's zipfian generator, scrambled option).
+
+    Uses the Gray/Jim-Gray rejection-free method YCSB popularized: draws
+    follow rank-frequency ``1/rank^theta`` over ``n`` items; with
+    ``scramble=True`` ranks are hashed across the domain so the hot set is
+    spread out rather than clustered at the smallest keys.
+    """
+
+    def __init__(
+        self,
+        low: int,
+        high: int,
+        rng: random.Random,
+        theta: float = 0.99,
+        scramble: bool = True,
+    ):
+        if low > high:
+            raise ValueError(f"empty key domain [{low}, {high}]")
+        if not (0 < theta < 1):
+            raise ValueError(f"theta must lie in (0, 1), got {theta}")
+        self._low = low
+        self._high = high
+        self._rng = rng
+        self._theta = theta
+        self._scramble = scramble
+        n = high - low + 1
+        self._n = n
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        self._eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self._zeta2 / self._zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        # Exact for small n; Euler–Maclaurin style approximation for large
+        # n keeps construction O(1)-ish instead of O(domain).
+        if n <= 10_000:
+            return sum(1.0 / (i**theta) for i in range(1, n + 1))
+        head = sum(1.0 / (i**theta) for i in range(1, 10_001))
+        tail = ((n ** (1 - theta)) - (10_000 ** (1 - theta))) / (1 - theta)
+        return head + tail
+
+    def sample(self) -> int:
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            rank = 0
+        elif uz < 1.0 + 0.5**self._theta:
+            rank = 1
+        else:
+            rank = int(self._n * ((self._eta * u - self._eta + 1) ** self._alpha))
+            rank = min(rank, self._n - 1)
+        if self._scramble:
+            # FNV-style scramble spreads hot ranks over the domain.
+            h = (rank * 0x9E3779B97F4A7C15) & ((1 << 64) - 1)
+            rank = h % self._n
+        return self._low + rank
+
+    @property
+    def domain(self) -> tuple[int, int]:
+        return (self._low, self._high)

@@ -1,0 +1,111 @@
+"""Workload specification: the knobs of the paper's synthetic generator.
+
+§5 ("Workload"): "Given the lack of delete benchmarks, we designed a
+synthetic workload generator, which produces a variation of YCSB Workload
+A, with 50% general updates and 50% point lookups. In our experiments, we
+vary the percentage of deletes between 2% to 10% of the ingestion."
+Deletes "are issued only on keys that have been inserted in the database
+and are uniformly distributed within the workload"; lookups are issued
+after the database is populated.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.core.errors import ConfigError
+
+
+class DeleteKeyMode(enum.Enum):
+    """How the secondary delete key D relates to the sort key S (Fig 6L).
+
+    * ``TIMESTAMP`` — D is the monotone insertion order (the DComp scenario:
+      data sorted on document_id, deleted by age); with random insertion
+      order this gives **no correlation** between S and D.
+    * ``CORRELATED`` — D equals S (correlation ≈ 1); §5.2 shows delete
+      tiles have no benefit here and h = 1 is optimal.
+    * ``UNIFORM`` — D drawn uniformly at random (also uncorrelated, but
+      non-monotone; stresses the tile classifier differently).
+    """
+
+    TIMESTAMP = "timestamp"
+    CORRELATED = "correlated"
+    UNIFORM = "uniform"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters for one generated workload.
+
+    Attributes
+    ----------
+    num_inserts:
+        Fresh keys inserted (the paper's "ingestion").
+    update_fraction:
+        Updates to already-inserted keys, as a fraction of total write
+        operations (YCSB-A variant default 0.5).
+    delete_fraction:
+        Point deletes of already-inserted keys, as a fraction of the
+        ingestion (the 0%–10% x-axis of Fig 6A–6D).
+    range_delete_fraction:
+        Sort-key range deletes as a fraction of ingestion; each has
+        ``range_delete_selectivity`` of the key domain.
+    num_point_lookups / num_range_lookups:
+        Query-phase sizes.
+    lookup_on_existing:
+        Query-phase point lookups target inserted keys (which may since
+        have been deleted — exactly Fig 6D's setup) rather than random
+        keys.
+    key_domain:
+        Inclusive (low, high) integer sort-key domain.
+    delete_key_mode:
+        See :class:`DeleteKeyMode`.
+    zipfian / zipf_theta:
+        Use skewed key choice for updates/deletes (adversarial workloads
+        of §3.1.1).
+    seed:
+        RNG seed; every workload is deterministic given its spec.
+    """
+
+    num_inserts: int = 10_000
+    update_fraction: float = 0.5
+    delete_fraction: float = 0.0
+    range_delete_fraction: float = 0.0
+    range_delete_selectivity: float = 5e-4
+    num_point_lookups: int = 0
+    num_range_lookups: int = 0
+    range_lookup_selectivity: float = 1e-3
+    lookup_on_existing: bool = True
+    key_domain: tuple[int, int] = (0, 1 << 30)
+    delete_key_mode: DeleteKeyMode = DeleteKeyMode.TIMESTAMP
+    zipfian: bool = False
+    zipf_theta: float = 0.99
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_inserts < 1:
+            raise ConfigError(f"num_inserts must be >= 1, got {self.num_inserts}")
+        for name in ("update_fraction", "delete_fraction", "range_delete_fraction"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ConfigError(f"{name} must lie in [0, 1], got {value}")
+        if not (0.0 < self.range_delete_selectivity <= 1.0):
+            raise ConfigError(
+                "range_delete_selectivity must lie in (0, 1], got "
+                f"{self.range_delete_selectivity}"
+            )
+        if self.num_point_lookups < 0 or self.num_range_lookups < 0:
+            raise ConfigError("lookup counts must be non-negative")
+        low, high = self.key_domain
+        if low >= high:
+            raise ConfigError(f"key_domain must be non-empty, got {self.key_domain}")
+
+    @property
+    def total_write_ops(self) -> int:
+        """Approximate writes: inserts + updates + deletes."""
+        inserts = self.num_inserts
+        updates = int(inserts * self.update_fraction / max(1e-12, 1 - self.update_fraction)) \
+            if self.update_fraction < 1.0 else inserts
+        deletes = int(inserts * self.delete_fraction)
+        return inserts + updates + deletes

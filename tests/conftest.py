@@ -1,0 +1,91 @@
+"""Shared fixtures for the test-suite.
+
+Conventions: tests build tiny engines (small buffers, small files) so the
+full flush/compaction machinery engages within a few hundred operations;
+``make_entries`` fabricates sorted entry runs directly for the storage- and
+layout-level tests that bypass the engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig, lethe_config, rocksdb_config
+from repro.core.engine import LSMEngine
+from repro.core.stats import Statistics
+from repro.storage.disk import SimulatedDisk
+from repro.storage.entry import Entry, EntryKind
+
+
+TINY = dict(
+    buffer_pages=4,      # 16-entry buffer
+    page_entries=4,
+    file_pages=8,        # 32-entry files
+    size_ratio=4,
+    ingestion_rate=1024.0,
+)
+
+
+@pytest.fixture
+def stats() -> Statistics:
+    return Statistics()
+
+
+@pytest.fixture
+def disk(stats) -> SimulatedDisk:
+    return SimulatedDisk(stats)
+
+
+@pytest.fixture
+def tiny_config() -> EngineConfig:
+    return rocksdb_config(**TINY)
+
+
+@pytest.fixture
+def baseline_engine() -> LSMEngine:
+    return LSMEngine(rocksdb_config(**TINY))
+
+
+@pytest.fixture
+def lethe_engine() -> LSMEngine:
+    return LSMEngine(lethe_config(delete_persistence_threshold=1.0, **TINY))
+
+
+@pytest.fixture
+def kiwi_engine() -> LSMEngine:
+    return LSMEngine(
+        lethe_config(
+            delete_persistence_threshold=1e9,
+            delete_tile_pages=4,
+            **TINY,
+        )
+    )
+
+
+def make_entries(
+    keys,
+    seq_start: int = 0,
+    kind: EntryKind = EntryKind.PUT,
+    delete_keys=None,
+    size: int = 100,
+    write_time: float = 0.0,
+):
+    """Build a sorted list of entries for direct storage-layer tests."""
+    sorted_keys = sorted(keys)
+    entries = []
+    for offset, key in enumerate(sorted_keys):
+        delete_key = None
+        if delete_keys is not None:
+            delete_key = delete_keys[offset]
+        entries.append(
+            Entry(
+                key=key,
+                seqnum=seq_start + offset,
+                kind=kind,
+                value=None if kind is EntryKind.TOMBSTONE else f"v{key}",
+                delete_key=delete_key,
+                size=size if kind is EntryKind.PUT else 11,
+                write_time=write_time,
+            )
+        )
+    return entries

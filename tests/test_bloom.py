@@ -1,0 +1,124 @@
+"""Unit and property tests for the Bloom filter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import Statistics
+from repro.filters.bloom import (
+    BloomFilter,
+    key_digest,
+    murmur_mix64,
+    optimal_hash_count,
+)
+
+
+class TestHashing:
+    def test_mix_is_deterministic(self):
+        assert murmur_mix64(12345) == murmur_mix64(12345)
+
+    def test_mix_spreads_nearby_keys(self):
+        digests = {murmur_mix64(i) for i in range(1000)}
+        assert len(digests) == 1000
+
+    def test_key_digest_supports_common_types(self):
+        assert key_digest(42) == key_digest(42)
+        assert key_digest("abc") == key_digest("abc")
+        assert key_digest(b"abc") == key_digest(b"abc")
+        assert key_digest("abc") != key_digest("abd")
+
+    def test_optimal_hash_count(self):
+        assert optimal_hash_count(10) == 7   # 10 · ln2 ≈ 6.93
+        assert optimal_hash_count(1) == 1
+        assert optimal_hash_count(16) == 11
+
+
+class TestBasics:
+    def test_no_false_negatives(self):
+        bf = BloomFilter(100, bits_per_key=10)
+        keys = list(range(0, 1000, 10))
+        bf.update(keys)
+        assert all(bf.might_contain(k) for k in keys)
+
+    def test_false_positive_rate_near_theory(self):
+        bf = BloomFilter(2000, bits_per_key=10)
+        bf.update(range(2000))
+        absent = range(10**6, 10**6 + 5000)
+        fp = sum(1 for k in absent if bf.might_contain(k))
+        rate = fp / 5000
+        # theory ≈ 0.8%; allow generous slack for a 5000-sample estimate
+        assert rate < 0.03
+
+    def test_empty_filter_rejects_everything(self):
+        bf = BloomFilter(10, bits_per_key=10)
+        assert not bf.might_contain(5)
+        assert bf.expected_fpr() == 0.0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            BloomFilter(-1)
+        with pytest.raises(ValueError):
+            BloomFilter(10, bits_per_key=0)
+
+    def test_expected_fpr_grows_with_load(self):
+        bf = BloomFilter(100, bits_per_key=10)
+        bf.update(range(100))
+        at_design = bf.expected_fpr()
+        bf.update(range(100, 300))  # overload: the paper's polluted-filter effect
+        assert bf.expected_fpr() > at_design
+
+
+class TestStatsAccounting:
+    def test_probe_counts_one_hash(self):
+        """§4.2.4: one MurmurHash digest per key regardless of k."""
+        stats = Statistics()
+        bf = BloomFilter(10, bits_per_key=10, stats=stats)
+        bf.might_contain(5)
+        assert stats.bloom_probes == 1
+        assert stats.bloom_hash_computations == 1
+
+    def test_add_counts_one_hash(self):
+        stats = Statistics()
+        bf = BloomFilter(10, bits_per_key=10, stats=stats)
+        bf.add(5)
+        assert stats.bloom_hash_computations == 1
+
+    def test_from_keys_construction_not_charged(self):
+        stats = Statistics()
+        bf = BloomFilter.from_keys(range(50), stats=stats)
+        assert stats.bloom_hash_computations == 0
+        bf.might_contain(1)
+        assert stats.bloom_hash_computations == 1
+
+
+class TestFromKeys:
+    def test_sized_for_keys(self):
+        bf = BloomFilter.from_keys(range(64), bits_per_key=10)
+        assert bf.count == 64
+        assert bf.num_bits >= 640
+
+    def test_explicit_expected_entries(self):
+        bf = BloomFilter.from_keys(range(10), expected_entries=100)
+        assert bf.num_bits >= 1000
+
+
+@given(st.sets(st.integers(min_value=0, max_value=2**60), min_size=1, max_size=300))
+@settings(max_examples=50, deadline=None)
+def test_property_no_false_negatives(keys):
+    """Invariant: a Bloom filter never reports an inserted key as absent."""
+    bf = BloomFilter.from_keys(keys, bits_per_key=10)
+    assert all(bf.might_contain(k) for k in keys)
+
+
+@given(
+    st.sets(st.integers(min_value=0, max_value=10**6), min_size=10, max_size=200),
+    st.floats(min_value=2.0, max_value=20.0),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_fpr_bounded(keys, bits_per_key):
+    """At its design load the empirical FPR stays within ~5× of theory."""
+    bf = BloomFilter.from_keys(keys, bits_per_key=bits_per_key)
+    absent = [k + 10**9 for k in range(400)]
+    fp = sum(1 for k in absent if bf.might_contain(k))
+    theory = bf.expected_fpr()
+    assert fp / 400 <= max(5 * theory, 0.08)

@@ -1,0 +1,131 @@
+"""Unit and integration tests for the block cache."""
+
+import random
+
+import pytest
+
+from repro.core.config import rocksdb_config
+from repro.core.engine import LSMEngine
+from repro.storage.cache import LRUPageCache
+
+from tests.conftest import TINY
+
+
+class TestLRUPolicy:
+    def test_miss_then_hit(self):
+        cache = LRUPageCache(4)
+        assert not cache.access(1)
+        assert cache.access(1)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_order_is_lru(self):
+        cache = LRUPageCache(2)
+        cache.access(1)
+        cache.access(2)
+        cache.access(1)   # 1 is now most recent
+        cache.access(3)   # evicts 2
+        assert cache.access(1)
+        assert not cache.access(2)
+        assert cache.evictions >= 1
+
+    def test_capacity_zero_disables(self):
+        cache = LRUPageCache(0)
+        assert not cache.access(1)
+        assert not cache.access(1)
+        assert len(cache) == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUPageCache(-1)
+
+    def test_hit_rate(self):
+        cache = LRUPageCache(8)
+        cache.access(1)
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert LRUPageCache(2).hit_rate == 0.0
+
+    def test_clear(self):
+        cache = LRUPageCache(4)
+        cache.access(1)
+        cache.clear()
+        assert not cache.access(1)  # miss again
+
+
+class TestEngineIntegration:
+    def _load(self, engine, n=400):
+        keys = []
+        rng = random.Random(5)
+        for i in range(n):
+            key = rng.randrange(1 << 20)
+            engine.put(key, f"v{i}")
+            keys.append(key)
+        engine.flush()
+        return keys
+
+    def test_repeated_lookups_hit_cache(self):
+        engine = LSMEngine(rocksdb_config(cache_pages=256, **TINY))
+        keys = self._load(engine)
+        engine.stats.reset_read_counters()
+        for _ in range(3):
+            for key in keys[:50]:
+                engine.get(key)
+        assert engine.stats.cache_hits > 0
+        # second and third passes should be nearly free
+        assert engine.stats.cache_hits >= engine.stats.cache_misses
+
+    def test_cache_reduces_lookup_io(self):
+        rng = random.Random(6)
+        io_counts = {}
+        for cache_pages in (0, 512):
+            engine = LSMEngine(rocksdb_config(cache_pages=cache_pages, **TINY))
+            keys = self._load(engine)
+            engine.stats.reset_read_counters()
+            for _ in range(400):
+                engine.get(keys[rng.randrange(len(keys))])
+            io_counts[cache_pages] = engine.stats.lookup_pages_read
+        assert io_counts[512] < io_counts[0]
+
+    def test_disabled_cache_counts_nothing(self):
+        engine = LSMEngine(rocksdb_config(**TINY))  # cache_pages=0
+        keys = self._load(engine)
+        engine.get(keys[0])
+        assert engine.stats.cache_hits == 0
+        assert engine.stats.cache_misses == 0
+        assert engine.cache is None
+
+    def test_results_identical_with_and_without_cache(self):
+        rng = random.Random(7)
+        ops = []
+        for i in range(500):
+            ops.append(("put", rng.randrange(200), f"v{i}", None))
+            if rng.random() < 0.1:
+                ops.append(("delete", rng.randrange(200)))
+        with_cache = LSMEngine(rocksdb_config(cache_pages=64, **TINY))
+        without = LSMEngine(rocksdb_config(**TINY))
+        for engine in (with_cache, without):
+            for op in ops:
+                if op[0] == "put":
+                    engine.put(op[1], op[2])
+                else:
+                    engine.delete(op[1])
+        for key in range(200):
+            assert with_cache.get(key) == without.get(key)
+
+    def test_dropped_pages_never_hit(self):
+        """KiWi page drops replace pages; old uids must never serve reads."""
+        from repro.core.config import lethe_config
+
+        engine = LSMEngine(
+            lethe_config(1e9, delete_tile_pages=4, cache_pages=512, **TINY)
+        )
+        for i in range(200):
+            engine.put(i, f"v{i}", delete_key=i)
+        engine.flush()
+        for i in range(200):  # warm the cache
+            engine.get(i)
+        engine.secondary_range_delete(0, 100)
+        for i in range(200):
+            expected = None if i < 100 else f"v{i}"
+            assert engine.get(i) == expected

@@ -1,0 +1,85 @@
+"""Unit tests for the simulated clock."""
+
+import pytest
+
+from repro.core.clock import SimulatedClock
+from repro.core.errors import ConfigError
+
+
+class TestConstruction:
+    def test_defaults(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock.ingestion_rate == 1024.0
+        assert clock.ticks == 0
+
+    def test_custom_start(self):
+        clock = SimulatedClock(ingestion_rate=10, start=5.0)
+        assert clock.now == 5.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            SimulatedClock(ingestion_rate=0)
+        with pytest.raises(ConfigError):
+            SimulatedClock(ingestion_rate=-1)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigError):
+            SimulatedClock(start=-0.1)
+
+
+class TestTicking:
+    def test_one_tick_advances_by_inverse_rate(self):
+        clock = SimulatedClock(ingestion_rate=100)
+        clock.tick()
+        assert clock.now == pytest.approx(0.01)
+
+    def test_bulk_ticks(self):
+        clock = SimulatedClock(ingestion_rate=1000)
+        clock.tick(500)
+        assert clock.now == pytest.approx(0.5)
+        assert clock.ticks == 500
+
+    def test_tick_returns_new_time(self):
+        clock = SimulatedClock(ingestion_rate=1)
+        assert clock.tick() == pytest.approx(1.0)
+
+    def test_negative_tick_rejected(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.tick(-1)
+
+    def test_paper_default_rate(self):
+        """Table 1: I = 1024 entries/s → 1024 ticks = 1 second."""
+        clock = SimulatedClock(ingestion_rate=1024)
+        clock.tick(1024)
+        assert clock.now == pytest.approx(1.0)
+
+
+class TestAdvance:
+    def test_manual_advance(self):
+        clock = SimulatedClock()
+        clock.advance(12.5)
+        assert clock.now == pytest.approx(12.5)
+        assert clock.ticks == 0  # idle time is not ingestion
+
+    def test_advance_rejects_negative(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+    def test_elapsed_since(self):
+        clock = SimulatedClock()
+        clock.advance(10)
+        assert clock.elapsed_since(4.0) == pytest.approx(6.0)
+
+    def test_elapsed_since_clamps_future_timestamps(self):
+        clock = SimulatedClock()
+        assert clock.elapsed_since(99.0) == 0.0
+
+    def test_mixed_ticks_and_advances(self):
+        clock = SimulatedClock(ingestion_rate=2)
+        clock.tick(2)       # +1.0s
+        clock.advance(3.0)  # +3.0s
+        clock.tick(1)       # +0.5s
+        assert clock.now == pytest.approx(4.5)

@@ -1,0 +1,155 @@
+"""Unit tests for the analytical cost models (§3.2) and Table 2."""
+
+import pytest
+
+from repro.analysis.cost_model import CostModel, Design, ModelParams, Policy
+from repro.analysis.table2 import compute_table2, render_table2
+from repro.core.errors import ConfigError
+
+
+@pytest.fixture
+def params():
+    return ModelParams()
+
+
+def model(design, policy=Policy.LEVELING, params=None):
+    return CostModel(params or ModelParams(), design, policy)
+
+
+class TestModelParams:
+    def test_defaults_match_table1(self, params):
+        assert params.num_entries == 2**20
+        assert params.size_ratio == 10
+        assert params.buffer_pages == 512
+        assert params.page_entries == 4
+        assert params.entry_size == 1024
+        assert params.tombstone_ratio == 0.1
+        assert params.ingestion_rate == 1024.0
+        assert params.tile_pages == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            ModelParams(num_entries=0)
+        with pytest.raises(ConfigError):
+            ModelParams(tombstone_ratio=0.0)
+        with pytest.raises(ConfigError):
+            ModelParams(tile_pages=0)
+
+    def test_fpr_formula(self, params):
+        # 10MB over 2^20 entries = 80 bits/key → essentially zero FPR;
+        # check monotonicity instead of magnitude
+        assert params.fpr(params.num_entries) < params.fpr(
+            params.num_entries * 100
+        )
+
+
+class TestFADERows:
+    def test_fade_operates_on_n_delta(self, params):
+        soa = model(Design.STATE_OF_THE_ART)
+        fade = model(Design.FADE)
+        assert fade.entries_in_tree() < soa.entries_in_tree()
+        assert fade.entries_in_tree() == params.n_delta
+
+    def test_fade_bounds_space_amp_with_deletes(self):
+        soa = model(Design.STATE_OF_THE_ART)
+        fade = model(Design.FADE)
+        assert fade.space_amp_with_deletes() < soa.space_amp_with_deletes()
+        # FADE's bound equals the no-delete bound (Table 2 row 3)
+        assert fade.space_amp_with_deletes() == fade.space_amp_without_deletes()
+
+    def test_fade_persistence_is_dth(self):
+        fade = model(Design.FADE)
+        assert fade.delete_persistence_latency(d_th=60.0) == 60.0
+
+    def test_soa_persistence_is_ingestion_bound(self, params):
+        soa = model(Design.STATE_OF_THE_ART)
+        expected = (
+            params.size_ratio ** (params.num_levels - 1)
+            * params.buffer_pages
+            * params.page_entries
+            / params.ingestion_rate
+        )
+        assert soa.delete_persistence_latency() == pytest.approx(expected)
+
+    def test_tiering_persistence_one_t_worse(self, params):
+        leveled = model(Design.STATE_OF_THE_ART, Policy.LEVELING)
+        tiered = model(Design.STATE_OF_THE_ART, Policy.TIERING)
+        assert tiered.delete_persistence_latency() == pytest.approx(
+            params.size_ratio * leveled.delete_persistence_latency()
+        )
+
+
+class TestKiWiRows:
+    def test_kiwi_lookups_scale_with_h(self, params):
+        soa = model(Design.STATE_OF_THE_ART)
+        kiwi = model(Design.KIWI)
+        assert kiwi.zero_result_lookup() == pytest.approx(
+            params.tile_pages * soa.zero_result_lookup()
+        )
+        assert kiwi.short_range_lookup() == pytest.approx(
+            params.tile_pages * soa.short_range_lookup()
+        )
+
+    def test_kiwi_srd_cheaper_by_h(self, params):
+        soa = model(Design.STATE_OF_THE_ART)
+        kiwi = model(Design.KIWI)
+        assert kiwi.secondary_range_delete_cost() == pytest.approx(
+            soa.secondary_range_delete_cost() / params.tile_pages
+        )
+
+    def test_kiwi_long_range_unchanged(self):
+        soa = model(Design.STATE_OF_THE_ART)
+        kiwi = model(Design.KIWI)
+        assert kiwi.long_range_lookup() == pytest.approx(soa.long_range_lookup())
+
+    def test_kiwi_write_path_unchanged(self):
+        soa = model(Design.STATE_OF_THE_ART)
+        kiwi = model(Design.KIWI)
+        assert kiwi.write_amplification() == soa.write_amplification()
+        assert kiwi.insert_update_cost() == soa.insert_update_cost()
+
+
+class TestLetheRows:
+    def test_lethe_combines_both(self, params):
+        lethe = model(Design.LETHE)
+        fade = model(Design.FADE)
+        kiwi = model(Design.KIWI)
+        assert lethe.entries_in_tree() == fade.entries_in_tree()
+        assert lethe.secondary_range_delete_cost() < kiwi.secondary_range_delete_cost()
+        assert lethe.delete_persistence_latency(60.0) == 60.0
+
+    def test_leveling_vs_tiering_wamp(self, params):
+        lev = model(Design.LETHE, Policy.LEVELING)
+        tier = model(Design.LETHE, Policy.TIERING)
+        assert lev.write_amplification() == pytest.approx(
+            params.size_ratio * tier.write_amplification()
+        )
+
+    def test_all_rows_complete(self):
+        rows = model(Design.LETHE).all_rows(d_th=60.0)
+        assert len(rows) == 13
+        assert all(isinstance(v, (int, float)) for v in rows.values())
+
+
+class TestTable2:
+    def test_markers(self):
+        table = compute_table2()
+        # SoA column is the reference: always "•"
+        for row in table.values():
+            assert row["state_of_the_art"].marker == "•"
+        # FADE strictly improves persistence; KiWi's lookups are tunable
+        assert table["delete_persistence_latency"]["fade"].marker == "▲"
+        assert table["zero_result_lookup"]["kiwi"].marker == "♦"
+        assert table["secondary_range_delete_cost"]["lethe"].marker == "♦"
+        # identical cells are "•"
+        assert table["write_amplification"]["fade"].marker in ("•", "▲")
+
+    def test_render_contains_all_rows(self):
+        text = render_table2()
+        for label in ("Space amp", "Write amplification", "Secondary range delete",
+                      "Main memory footprint"):
+            assert label in text
+
+    def test_tiering_table_renders(self):
+        text = render_table2(policy=Policy.TIERING)
+        assert "Entries in tree" in text

@@ -1,0 +1,302 @@
+"""Integration tests for the engine facade: the full read/write/delete paths."""
+
+import random
+
+import pytest
+
+from repro.core.config import MergePolicy, lethe_config, rocksdb_config
+from repro.core.engine import LSMEngine
+
+from tests.conftest import TINY
+
+
+class TestBasicKV:
+    def test_put_get(self, baseline_engine):
+        baseline_engine.put(1, "one")
+        assert baseline_engine.get(1) == "one"
+
+    def test_get_absent(self, baseline_engine):
+        assert baseline_engine.get(42) is None
+        assert baseline_engine.stats.zero_result_lookups == 1
+
+    def test_update_wins(self, baseline_engine):
+        baseline_engine.put(1, "old")
+        baseline_engine.put(1, "new")
+        assert baseline_engine.get(1) == "new"
+
+    def test_survives_flush(self, baseline_engine):
+        for key in range(50):
+            baseline_engine.put(key, f"v{key}")
+        baseline_engine.flush()
+        assert baseline_engine.get(17) == "v17"
+        assert baseline_engine.stats.buffer_flushes >= 1
+
+    def test_update_across_flush(self, baseline_engine):
+        baseline_engine.put(1, "old")
+        baseline_engine.flush()
+        baseline_engine.put(1, "new")
+        assert baseline_engine.get(1) == "new"
+        baseline_engine.flush()
+        assert baseline_engine.get(1) == "new"
+
+    def test_many_entries_trigger_compactions(self, baseline_engine):
+        for key in range(600):
+            baseline_engine.put(key, f"v{key}")
+        assert baseline_engine.stats.compactions > 0
+        rng = random.Random(3)
+        for _ in range(50):
+            key = rng.randrange(600)
+            assert baseline_engine.get(key) == f"v{key}"
+
+
+class TestPointDeletes:
+    def test_delete_hides_key(self, baseline_engine):
+        baseline_engine.put(1, "one")
+        assert baseline_engine.delete(1)
+        assert baseline_engine.get(1) is None
+
+    def test_delete_across_flush(self, baseline_engine):
+        baseline_engine.put(1, "one")
+        baseline_engine.flush()
+        baseline_engine.delete(1)
+        assert baseline_engine.get(1) is None
+        baseline_engine.flush()
+        assert baseline_engine.get(1) is None
+
+    def test_reinsert_after_delete(self, baseline_engine):
+        baseline_engine.put(1, "one")
+        baseline_engine.delete(1)
+        baseline_engine.put(1, "again")
+        assert baseline_engine.get(1) == "again"
+
+    def test_blind_delete_skipped(self, baseline_engine):
+        assert baseline_engine.config.avoid_blind_deletes
+        assert not baseline_engine.delete(12345)
+        assert baseline_engine.stats.blind_deletes_skipped == 1
+        assert baseline_engine.stats.point_tombstones_ingested == 0
+
+    def test_blind_delete_allowed_when_disabled(self):
+        engine = LSMEngine(rocksdb_config(avoid_blind_deletes=False, **TINY))
+        assert engine.delete(12345)
+        assert engine.stats.point_tombstones_ingested == 1
+
+    def test_delete_after_flush_not_blind(self, baseline_engine):
+        baseline_engine.put(9, "nine")
+        baseline_engine.flush()
+        assert baseline_engine.delete(9)
+
+
+class TestRangeDeletes:
+    def test_range_delete_hides_covered_keys(self, baseline_engine):
+        for key in range(20):
+            baseline_engine.put(key, f"v{key}")
+        baseline_engine.range_delete(5, 15)
+        for key in range(20):
+            expected = None if 5 <= key < 15 else f"v{key}"
+            assert baseline_engine.get(key) == expected
+
+    def test_range_delete_across_flush(self, baseline_engine):
+        for key in range(20):
+            baseline_engine.put(key, f"v{key}")
+        baseline_engine.flush()
+        baseline_engine.range_delete(5, 15)
+        baseline_engine.flush()
+        assert baseline_engine.get(7) is None
+        assert baseline_engine.get(16) == "v16"
+
+    def test_put_after_range_delete_wins(self, baseline_engine):
+        baseline_engine.put(7, "old")
+        baseline_engine.range_delete(0, 100)
+        baseline_engine.put(7, "new")
+        assert baseline_engine.get(7) == "new"
+
+    def test_scan_respects_range_delete(self, baseline_engine):
+        for key in range(10):
+            baseline_engine.put(key, f"v{key}")
+        baseline_engine.flush()
+        baseline_engine.range_delete(2, 6)
+        keys = [k for k, _ in baseline_engine.scan(0, 9)]
+        assert keys == [0, 1, 6, 7, 8, 9]
+
+
+class TestScan:
+    def test_scan_merges_buffer_and_disk(self, baseline_engine):
+        baseline_engine.put(1, "disk")
+        baseline_engine.flush()
+        baseline_engine.put(2, "buffer")
+        assert baseline_engine.scan(0, 10) == [(1, "disk"), (2, "buffer")]
+
+    def test_scan_returns_newest_version(self, baseline_engine):
+        baseline_engine.put(1, "old")
+        baseline_engine.flush()
+        baseline_engine.put(1, "new")
+        assert baseline_engine.scan(0, 10) == [(1, "new")]
+
+    def test_scan_empty_range(self, baseline_engine):
+        baseline_engine.put(1, "x")
+        assert baseline_engine.scan(100, 200) == []
+
+
+class TestSecondaryRangeDelete:
+    def _load(self, engine, n=64):
+        for key in range(n):
+            engine.put(key, f"v{key}", delete_key=key * 10)
+        engine.flush()
+
+    def test_kiwi_path_drops_matching(self, kiwi_engine):
+        self._load(kiwi_engine)
+        report = kiwi_engine.secondary_range_delete(100, 300)
+        assert report.entries_dropped > 0
+        for key in range(64):
+            expected = None if 100 <= key * 10 < 300 else f"v{key}"
+            assert kiwi_engine.get(key) == expected
+
+    def test_kiwi_path_uses_page_drops_not_full_compaction(self, kiwi_engine):
+        self._load(kiwi_engine)
+        before = kiwi_engine.stats.full_tree_compactions
+        kiwi_engine.secondary_range_delete(100, 300)
+        assert kiwi_engine.stats.full_tree_compactions == before
+
+    def test_classic_path_full_compaction(self, baseline_engine):
+        self._load(baseline_engine)
+        report = baseline_engine.secondary_range_delete(100, 300)
+        assert baseline_engine.stats.full_tree_compactions == 1
+        for key in range(64):
+            expected = None if 100 <= key * 10 < 300 else f"v{key}"
+            assert baseline_engine.get(key) == expected
+        # the classic path reads and rewrites the whole tree
+        assert report.pages_read > 0 and report.pages_written > 0
+
+    def test_buffer_entries_also_purged(self, kiwi_engine):
+        kiwi_engine.put(1, "one", delete_key=100)  # stays in buffer
+        kiwi_engine.secondary_range_delete(50, 150)
+        assert kiwi_engine.get(1) is None
+
+    def test_secondary_range_lookup_kiwi(self, kiwi_engine):
+        self._load(kiwi_engine)
+        hits = kiwi_engine.secondary_range_lookup(100, 300)
+        assert sorted(k for k, _ in hits) == list(range(10, 30))
+
+    def test_secondary_range_lookup_classic(self, baseline_engine):
+        self._load(baseline_engine)
+        hits = baseline_engine.secondary_range_lookup(100, 300)
+        assert sorted(k for k, _ in hits) == list(range(10, 30))
+
+    def test_secondary_lookup_skips_stale_versions(self, kiwi_engine):
+        kiwi_engine.put(1, "old", delete_key=100)
+        kiwi_engine.flush()
+        kiwi_engine.put(1, "new", delete_key=9999)  # moved out of range
+        hits = kiwi_engine.secondary_range_lookup(50, 150)
+        assert hits == []
+
+
+class TestPersistenceTracking:
+    def test_records_opened_and_closed(self, lethe_engine):
+        lethe_engine.put(1, "one")
+        lethe_engine.delete(1)
+        assert lethe_engine.stats.unpersisted_count() == 1
+        lethe_engine.flush()
+        lethe_engine.advance_time(2.0)
+        assert lethe_engine.stats.unpersisted_count() == 0
+        assert lethe_engine.stats.max_persistence_latency() is not None
+
+    def test_overwritten_buffer_tombstone_nullified(self, lethe_engine):
+        lethe_engine.put(1, "one")
+        lethe_engine.delete(1)
+        lethe_engine.put(1, "back")
+        assert lethe_engine.stats.unpersisted_count() == 0
+
+    def test_force_full_compaction_persists_everything(self, baseline_engine):
+        baseline_engine.config  # baseline has no FADE: forced persistence
+        baseline_engine.put(1, "one")
+        baseline_engine.put(2, "two")
+        baseline_engine.delete(1)
+        baseline_engine.force_full_compaction()
+        assert baseline_engine.tombstones_on_disk() == 0
+        assert baseline_engine.get(2) == "two"
+
+
+class TestWALIntegration:
+    def test_wal_tracks_and_purges(self, baseline_engine):
+        for key in range(40):
+            baseline_engine.put(key, "x")
+        # flushes advanced the watermark; most segments purged
+        assert baseline_engine.wal.segments_purged >= 0
+        assert baseline_engine.wal.live_records <= 40
+
+    def test_fade_wal_dth_enforced(self, lethe_engine):
+        lethe_engine.put(1, "x")
+        lethe_engine.delete(1)
+        for key in range(100, 160):
+            lethe_engine.put(key, "y")
+        d_th = lethe_engine.config.delete_persistence_threshold
+        assert lethe_engine.wal.oldest_segment_age(lethe_engine.clock.now) <= d_th
+
+
+class TestTieredEngine:
+    def test_tiered_round_trip(self):
+        engine = LSMEngine(
+            rocksdb_config(**{**TINY, "merge_policy": MergePolicy.TIERING})
+        )
+        for key in range(400):
+            engine.put(key, f"v{key}")
+        rng = random.Random(5)
+        for _ in range(40):
+            key = rng.randrange(400)
+            assert engine.get(key) == f"v{key}"
+
+    def test_tiered_deletes(self):
+        engine = LSMEngine(
+            rocksdb_config(**{**TINY, "merge_policy": MergePolicy.TIERING})
+        )
+        for key in range(200):
+            engine.put(key, f"v{key}")
+        for key in range(0, 200, 4):
+            engine.delete(key)
+        for key in range(200):
+            expected = None if key % 4 == 0 else f"v{key}"
+            assert engine.get(key) == expected
+
+
+class TestIngestDispatch:
+    def test_dispatch_all_ops(self, kiwi_engine):
+        kiwi_engine.ingest(
+            [
+                ("put", 1, "one", 10),
+                ("put", 2, "two", 20),
+                ("delete", 1),
+                ("get", 2),
+                ("scan", 0, 5),
+                ("range_delete", 90, 95),
+                ("secondary_range_delete", 15, 25),
+            ]
+        )
+        assert kiwi_engine.get(1) is None
+        assert kiwi_engine.get(2) is None  # removed by secondary delete
+
+    def test_unknown_op_rejected(self, baseline_engine):
+        from repro.core.errors import LetheError
+
+        with pytest.raises(LetheError):
+            baseline_engine.ingest([("frobnicate", 1)])
+
+
+class TestMetrics:
+    def test_space_amp_counts_stale_versions(self, baseline_engine):
+        for key in range(32):
+            baseline_engine.put(key, "a")
+        baseline_engine.flush()
+        for key in range(32):
+            baseline_engine.put(key, "b")
+        baseline_engine.flush()
+        assert baseline_engine.space_amplification() >= 0.0
+
+    def test_write_amplification_grows_with_compaction(self, baseline_engine):
+        for key in range(600):
+            baseline_engine.put(key, f"v{key}")
+        assert baseline_engine.write_amplification() > 0.0
+
+    def test_describe_runs(self, baseline_engine):
+        baseline_engine.put(1, "x")
+        text = baseline_engine.describe()
+        assert "LSMEngine" in text

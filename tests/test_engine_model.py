@@ -1,0 +1,133 @@
+"""Property-based model checking of the whole engine.
+
+The oracle is a plain dict replaying the same operations; after any
+sequence of puts, deletes, sort-key range deletes, and secondary range
+deletes — across every engine flavour — every key must read back exactly
+what the model says, through any number of flushes and compactions.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import MergePolicy, lethe_config, rocksdb_config
+from repro.core.engine import LSMEngine
+
+from tests.conftest import TINY
+
+KEYS = st.integers(min_value=0, max_value=40)
+DKEYS = st.integers(min_value=0, max_value=400)
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("put"), KEYS, DKEYS),
+        st.tuples(st.just("delete"), KEYS),
+        st.tuples(st.just("range_delete"), KEYS, st.integers(1, 15)),
+        st.tuples(st.just("srd"), DKEYS, st.integers(1, 120)),
+        st.tuples(st.just("flush")),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def engine_flavours():
+    return [
+        ("baseline", lambda: LSMEngine(rocksdb_config(**TINY))),
+        ("baseline-tieredL1", lambda: LSMEngine(
+            rocksdb_config(level1_tiered=True, **TINY))),
+        ("tiered", lambda: LSMEngine(
+            rocksdb_config(**{**TINY, "merge_policy": MergePolicy.TIERING}))),
+        ("lazy-leveling", lambda: LSMEngine(
+            rocksdb_config(**{**TINY, "merge_policy": MergePolicy.LAZY_LEVELING}))),
+        ("lethe", lambda: LSMEngine(
+            lethe_config(delete_persistence_threshold=0.5, **TINY))),
+        ("lethe-kiwi", lambda: LSMEngine(
+            lethe_config(delete_persistence_threshold=0.5,
+                         delete_tile_pages=4, **TINY))),
+    ]
+
+
+def replay(engine: LSMEngine, ops) -> dict:
+    """Apply ops to engine and the model dict in lockstep."""
+    model: dict[int, tuple[str, int]] = {}
+    counter = 0
+    for op in ops:
+        if op[0] == "put":
+            _, key, dkey = op
+            counter += 1
+            value = f"val{counter}"
+            engine.put(key, value, delete_key=dkey)
+            model[key] = (value, dkey)
+        elif op[0] == "delete":
+            _, key = op
+            issued = engine.delete(key)
+            if key in model:
+                assert issued, "delete of an existing key must not be blind-skipped"
+                del model[key]
+        elif op[0] == "range_delete":
+            _, start, width = op
+            engine.range_delete(start, start + width)
+            for key in [k for k in model if start <= k < start + width]:
+                del model[key]
+        elif op[0] == "srd":
+            _, d_lo, width = op
+            engine.secondary_range_delete(d_lo, d_lo + width)
+            for key in [
+                k for k, (_v, d) in model.items() if d_lo <= d < d_lo + width
+            ]:
+                del model[key]
+        elif op[0] == "flush":
+            engine.flush()
+    return model
+
+
+@pytest.mark.parametrize("name,factory", engine_flavours())
+@given(ops=OPS)
+@settings(max_examples=25, deadline=None)
+def test_property_engine_matches_model(name, factory, ops):
+    engine = factory()
+    model = replay(engine, ops)
+    for key in range(41):
+        expected = model.get(key)
+        got = engine.get(key)
+        if expected is None:
+            assert got is None, f"[{name}] key {key} should be deleted, got {got!r}"
+        else:
+            assert got == expected[0], (
+                f"[{name}] key {key}: expected {expected[0]!r}, got {got!r}"
+            )
+
+
+@pytest.mark.parametrize("name,factory", engine_flavours())
+@given(ops=OPS)
+@settings(max_examples=10, deadline=None)
+def test_property_scan_matches_model(name, factory, ops):
+    engine = factory()
+    model = replay(engine, ops)
+    got = engine.scan(0, 40)
+    expected = sorted((k, v) for k, (v, _d) in model.items())
+    assert got == expected, f"[{name}] scan mismatch"
+
+
+@given(ops=OPS)
+@settings(max_examples=10, deadline=None)
+def test_property_manifest_consistent_with_tree(ops):
+    """After any history, the manifest's live set equals the tree's files."""
+    engine = LSMEngine(lethe_config(0.5, delete_tile_pages=4, **TINY))
+    replay(engine, ops)
+    live = set(engine.manifest.live_files)
+    in_tree = {f.meta.file_number for f in engine.tree.all_files()}
+    assert live == in_tree
+    assert engine.manifest.replay() == engine.manifest.live_files
+
+
+@given(ops=OPS)
+@settings(max_examples=10, deadline=None)
+def test_property_disk_accounting_consistent(ops):
+    """Simulated-disk live pages equal the tree's live pages."""
+    engine = LSMEngine(lethe_config(0.5, delete_tile_pages=4, **TINY))
+    replay(engine, ops)
+    tree_pages = sum(f.num_pages for f in engine.tree.all_files())
+    assert engine.disk.live_pages == tree_pages
+    assert engine.disk.live_files == engine.tree.total_files

@@ -1,0 +1,107 @@
+"""Unit tests for the entry model: puts, tombstones, range tombstones."""
+
+import pytest
+
+from repro.storage.entry import (
+    Entry,
+    EntryKind,
+    RangeTombstone,
+    SequenceGenerator,
+    latest_wins,
+)
+
+
+def put(key, seq, **kw):
+    return Entry(key=key, seqnum=seq, kind=EntryKind.PUT, value=f"v{seq}", **kw)
+
+
+def tomb(key, seq, **kw):
+    return Entry(key=key, seqnum=seq, kind=EntryKind.TOMBSTONE, **kw)
+
+
+class TestEntry:
+    def test_put_fields(self):
+        entry = put(5, 1, delete_key=77, size=1024)
+        assert not entry.is_tombstone
+        assert entry.delete_key == 77
+        assert entry.size == 1024
+
+    def test_tombstone_has_no_value(self):
+        assert tomb(5, 1).value is None
+
+    def test_tombstone_with_value_rejected(self):
+        with pytest.raises(ValueError):
+            Entry(key=1, seqnum=0, kind=EntryKind.TOMBSTONE, value="x")
+
+    def test_negative_seqnum_rejected(self):
+        with pytest.raises(ValueError):
+            put(1, -1)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Entry(key=1, seqnum=0, kind=EntryKind.PUT, size=0)
+
+    def test_supersedes_same_key_newer(self):
+        assert put(1, 5).supersedes(put(1, 3))
+        assert not put(1, 3).supersedes(put(1, 5))
+        assert not put(2, 9).supersedes(put(1, 3))  # different key
+
+    def test_tombstone_supersedes_put(self):
+        assert tomb(1, 5).supersedes(put(1, 3))
+
+    def test_sort_token_orders_newest_first_within_key(self):
+        entries = [put(1, 1), put(1, 9), put(0, 4)]
+        ordered = sorted(entries, key=lambda e: e.sort_token())
+        assert [(e.key, e.seqnum) for e in ordered] == [(0, 4), (1, 9), (1, 1)]
+
+
+class TestRangeTombstone:
+    def test_covers_older_in_range(self):
+        rt = RangeTombstone(start=10, end=20, seqnum=100)
+        assert rt.covers(10, 50)
+        assert rt.covers(19, 99)
+        assert not rt.covers(20, 50)   # end-exclusive
+        assert not rt.covers(9, 50)    # below range
+        assert not rt.covers(15, 100)  # same seqnum is not older
+        assert not rt.covers(15, 101)  # newer survives
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            RangeTombstone(start=5, end=5, seqnum=0)
+        with pytest.raises(ValueError):
+            RangeTombstone(start=6, end=5, seqnum=0)
+
+    def test_overlaps_keys(self):
+        rt = RangeTombstone(start=10, end=20, seqnum=0)
+        assert rt.overlaps_keys(0, 10)
+        assert rt.overlaps_keys(19, 30)
+        assert rt.overlaps_keys(12, 13)
+        assert not rt.overlaps_keys(20, 30)  # end-exclusive
+        assert not rt.overlaps_keys(0, 9)
+
+
+class TestSequenceGenerator:
+    def test_monotonic(self):
+        gen = SequenceGenerator()
+        values = [gen.next() for _ in range(10)]
+        assert values == list(range(10))
+        assert gen.current == 10
+
+
+class TestLatestWins:
+    def test_picks_highest_seqnum(self):
+        winner = latest_wins([put(1, 3), tomb(1, 7), put(1, 5)])
+        assert winner.seqnum == 7
+        assert winner.is_tombstone
+
+    def test_single_entry(self):
+        entry = put(1, 0)
+        assert latest_wins([entry]) is entry
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latest_wins([])
+
+    def test_mixed_keys_rejected(self):
+        with pytest.raises(ValueError):
+            latest_wins([put(1, 0), put(2, 1)])

@@ -1,0 +1,135 @@
+"""Unit and property tests for fence pointers and delete fence pointers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.fence import DeleteFencePointers, FencePointers
+
+
+class TestFencePointers:
+    def test_locate_exact_and_between(self):
+        fences = FencePointers([10, 20, 30])
+        assert fences.locate(10) == 0
+        assert fences.locate(15) == 0
+        assert fences.locate(20) == 1
+        assert fences.locate(99) == 2
+
+    def test_locate_before_first(self):
+        fences = FencePointers([10, 20])
+        assert fences.locate(5) is None
+
+    def test_locate_empty(self):
+        assert FencePointers([]).locate(5) is None
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            FencePointers([10, 5])
+
+    def test_locate_range(self):
+        fences = FencePointers([10, 20, 30, 40])
+        assert list(fences.locate_range(12, 35)) == [0, 1, 2]
+        assert list(fences.locate_range(0, 5)) == []
+        assert list(fences.locate_range(0, 10)) == [0]
+        assert list(fences.locate_range(45, 99)) == [3]
+
+    def test_locate_range_spanning_everything(self):
+        fences = FencePointers([10, 20, 30])
+        assert list(fences.locate_range(0, 100)) == [0, 1, 2]
+
+
+class TestDeleteFencePointers:
+    def test_classify_full_and_partial(self):
+        # Pages sorted on D: spans [0,9], [10,19], [20,29]
+        fences = DeleteFencePointers([(0, 9), (10, 19), (20, 29)])
+        full, partial = fences.classify(10, 20)
+        assert full == [1]
+        assert partial == []
+
+    def test_classify_boundary_pages_partial(self):
+        fences = DeleteFencePointers([(0, 9), (10, 19), (20, 29)])
+        full, partial = fences.classify(5, 25)
+        assert full == [1]
+        assert sorted(partial) == [0, 2]
+
+    def test_disjoint_pages_untouched(self):
+        fences = DeleteFencePointers([(0, 9), (10, 19)])
+        full, partial = fences.classify(100, 200)
+        assert full == [] and partial == []
+
+    def test_end_exclusive_boundary(self):
+        """A page whose max D equals d_hi is NOT fully covered: the entry
+        at d_hi-1... precisely, max_d < d_hi is required (end exclusive)."""
+        fences = DeleteFencePointers([(0, 10)])
+        full, partial = fences.classify(0, 10)
+        assert full == []
+        assert partial == [0]
+        full, partial = fences.classify(0, 11)
+        assert full == [0]
+
+    def test_equal_key_straddle_not_full_dropped(self):
+        """Equal delete keys straddling a page boundary must not allow a
+        bogus full drop (the reason we store max, not just min)."""
+        fences = DeleteFencePointers([(0, 5), (5, 9)])
+        full, partial = fences.classify(0, 5)
+        assert full == []
+        assert partial == [0]
+
+    def test_none_bounds_always_partial(self):
+        fences = DeleteFencePointers([None, (0, 9)])
+        full, partial = fences.classify(0, 10)
+        assert full == [1]
+        assert partial == [0]
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            DeleteFencePointers([(10, 5)])
+
+    def test_pages_overlapping(self):
+        fences = DeleteFencePointers([(0, 9), (10, 19), None, (20, 29)])
+        assert fences.pages_overlapping(15, 25) == [1, 2, 3]
+        assert fences.pages_overlapping(100, 200) == [2]
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 1000), st.integers(0, 1000)).map(
+            lambda t: (min(t), max(t))
+        ),
+        min_size=1,
+        max_size=20,
+    ),
+    st.integers(0, 1000),
+    st.integers(1, 1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_classification_is_sound(bounds, d_lo, width):
+    """Full ⊂ range, partial touches it, neither misses any overlap."""
+    d_hi = d_lo + width
+    fences = DeleteFencePointers(bounds)
+    full, partial = fences.classify(d_lo, d_hi)
+    full_set, partial_set = set(full), set(partial)
+    assert not (full_set & partial_set)
+    for index, bound in enumerate(bounds):
+        min_d, max_d = bound
+        overlaps = not (max_d < d_lo or min_d >= d_hi)
+        inside = d_lo <= min_d and max_d < d_hi
+        if inside:
+            assert index in full_set
+        elif overlaps:
+            assert index in partial_set
+        else:
+            assert index not in full_set and index not in partial_set
+
+
+@given(st.lists(st.integers(0, 10**6), min_size=1, max_size=50), st.integers(0, 10**6))
+@settings(max_examples=100, deadline=None)
+def test_property_fence_locate_agrees_with_linear_scan(min_keys, probe):
+    """locate() must match the last unit whose min key ≤ probe."""
+    keys = sorted(min_keys)
+    fences = FencePointers(keys)
+    expected = None
+    for index, key in enumerate(keys):
+        if key <= probe:
+            expected = index
+    assert fences.locate(probe) == expected

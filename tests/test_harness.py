@@ -1,0 +1,84 @@
+"""Unit tests for the experiment harness."""
+
+import pytest
+
+from repro.bench.harness import (
+    ExperimentScale,
+    RunResult,
+    make_baseline,
+    make_lethe,
+    preload_classic_engine,
+    preload_kiwi_engine,
+    run_engine,
+    workload_for,
+)
+from repro.workloads.spec import DeleteKeyMode
+
+SMALL = ExperimentScale(num_inserts=600, num_point_lookups=100)
+
+
+class TestWorkloadFor:
+    def test_runtime_matches_write_ops(self):
+        ingest_ops, query_ops, runtime = workload_for(SMALL, 0.05)
+        assert runtime == pytest.approx(len(ingest_ops) / SMALL.ingestion_rate)
+        assert len(query_ops) == SMALL.num_point_lookups
+
+    def test_deterministic_per_scale(self):
+        a, _, _ = workload_for(SMALL, 0.05)
+        b, _, _ = workload_for(SMALL, 0.05)
+        assert a == b
+
+    def test_delete_fraction_respected(self):
+        ingest_ops, _, _ = workload_for(SMALL, 0.10)
+        deletes = sum(1 for op in ingest_ops if op[0] == "delete")
+        assert deletes == pytest.approx(60, abs=3)
+
+
+class TestEngineFactories:
+    def test_baseline_has_no_fade(self):
+        engine = make_baseline(SMALL)
+        assert not engine.config.fade_enabled
+        assert engine.config.level1_tiered
+
+    def test_lethe_has_fade(self):
+        engine = make_lethe(SMALL, d_th=1.0, delete_tile_pages=4)
+        assert engine.config.fade_enabled
+        assert engine.config.kiwi_enabled
+
+    def test_overrides_win(self):
+        engine = make_baseline(SMALL, level1_tiered=False)
+        assert not engine.config.level1_tiered
+
+
+class TestRunEngine:
+    def test_collects_metrics(self):
+        ingest_ops, query_ops, runtime = workload_for(SMALL, 0.05)
+        result = run_engine(
+            make_baseline(SMALL), "test", ingest_ops, query_ops, runtime
+        )
+        assert isinstance(result, RunResult)
+        assert result.name == "test"
+        assert result.engine.stats.point_lookups == len(query_ops)
+        assert result.total_bytes_written > 0
+        assert result.read_throughput > 0
+
+
+class TestPreload:
+    def test_kiwi_preload_consolidated(self):
+        engine, generator = preload_kiwi_engine(
+            SMALL, delete_tile_pages=4, delete_key_mode=DeleteKeyMode.UNIFORM
+        )
+        assert len(generator.inserted_keys) == SMALL.num_inserts
+        # consolidation leaves a single leveled run and clean read counters
+        deepest = engine.tree.deepest_nonempty_level()
+        assert engine.tree.level(deepest).run_count == 1
+        assert engine.stats.point_lookups == 0
+
+    def test_classic_preload(self):
+        engine, generator = preload_classic_engine(SMALL)
+        assert engine.tree.total_entries == SMALL.num_inserts
+        assert not engine.config.kiwi_enabled
+
+    def test_kiwi_preload_unconsolidated(self):
+        engine, _ = preload_kiwi_engine(SMALL, 4, consolidate=False)
+        assert engine.stats.full_tree_compactions == 0

@@ -1,0 +1,196 @@
+"""Unit and property tests for merge iterators and tombstone semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lsm.iterator import (
+    merge_for_compaction,
+    merge_for_read,
+    merge_sorted_streams,
+    resolve_versions,
+)
+from repro.storage.entry import Entry, EntryKind, RangeTombstone
+
+
+def put(key, seq):
+    return Entry(key=key, seqnum=seq, kind=EntryKind.PUT, value=f"v{key}.{seq}")
+
+
+def tomb(key, seq):
+    return Entry(key=key, seqnum=seq, kind=EntryKind.TOMBSTONE)
+
+
+def sorted_run(*entries):
+    return iter(sorted(entries, key=lambda e: e.sort_token()))
+
+
+class TestMergeSortedStreams:
+    def test_orders_by_key_then_recency(self):
+        a = sorted_run(put(1, 5), put(3, 1))
+        b = sorted_run(put(1, 9), put(2, 2))
+        merged = list(merge_sorted_streams([a, b]))
+        assert [(e.key, e.seqnum) for e in merged] == [
+            (1, 9), (1, 5), (2, 2), (3, 1),
+        ]
+
+
+class TestResolveVersions:
+    def test_newest_version_per_key(self):
+        merged = merge_sorted_streams(
+            [sorted_run(put(1, 5)), sorted_run(put(1, 9), put(2, 1))]
+        )
+        resolved = list(resolve_versions(merged, []))
+        assert [(e.key, e.seqnum) for e in resolved] == [(1, 9), (2, 1)]
+
+    def test_range_tombstone_suppresses(self):
+        merged = merge_sorted_streams([sorted_run(put(1, 5), put(9, 6))])
+        rt = RangeTombstone(start=0, end=5, seqnum=100)
+        resolved = list(resolve_versions(merged, [rt]))
+        assert [e.key for e in resolved] == [9]
+
+
+class TestCompactionMerge:
+    def test_consolidates_duplicates(self):
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 1), put(2, 2)), sorted_run(put(1, 7))],
+            [],
+            into_last_level=False,
+        )
+        assert [(e.key, e.seqnum) for e in outcome.entries] == [(1, 7), (2, 2)]
+        assert outcome.invalid_entries_dropped == 1
+
+    def test_tombstone_retained_at_intermediate_level(self):
+        """§3.1.1: a tombstone survives non-last-level compactions."""
+        outcome = merge_for_compaction(
+            [sorted_run(tomb(1, 9), put(2, 1)), sorted_run(put(1, 2))],
+            [],
+            into_last_level=False,
+        )
+        keys = [(e.key, e.is_tombstone) for e in outcome.entries]
+        assert (1, True) in keys
+        assert outcome.invalid_entries_dropped == 1  # the old put(1,2)
+
+    def test_tombstone_dropped_at_last_level(self):
+        """§3.1.1: compaction with the last level persists the delete."""
+        outcome = merge_for_compaction(
+            [sorted_run(tomb(1, 9)), sorted_run(put(1, 2), put(2, 3))],
+            [],
+            into_last_level=True,
+        )
+        assert [e.key for e in outcome.entries] == [2]
+        assert [t.key for t in outcome.dropped_tombstones] == [1]
+
+    def test_range_tombstone_drops_covered_and_survives(self):
+        rt = RangeTombstone(start=0, end=10, seqnum=100)
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 5), put(15, 6))],
+            [rt],
+            into_last_level=False,
+        )
+        assert [e.key for e in outcome.entries] == [15]
+        assert outcome.range_tombstones == [rt]
+        assert outcome.invalid_entries_dropped == 1
+
+    def test_range_tombstone_dropped_at_last_level(self):
+        rt = RangeTombstone(start=0, end=10, seqnum=100)
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 5))], [rt], into_last_level=True
+        )
+        assert outcome.entries == []
+        assert outcome.range_tombstones == []
+        assert outcome.dropped_range_tombstones == [rt]
+
+    def test_newer_put_survives_range_tombstone(self):
+        rt = RangeTombstone(start=0, end=10, seqnum=50)
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 99))], [rt], into_last_level=False
+        )
+        assert [e.key for e in outcome.entries] == [1]
+
+    def test_extra_cover_tombstones_drop_but_are_not_emitted(self):
+        upper_rt = RangeTombstone(start=0, end=10, seqnum=100)
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 5), put(20, 6))],
+            [],
+            into_last_level=False,
+            extra_cover_tombstones=[upper_rt],
+        )
+        assert [e.key for e in outcome.entries] == [20]
+        assert outcome.range_tombstones == []  # not consumed here
+
+    def test_tombstone_superseded_by_newer_put(self):
+        """A put newer than the tombstone resurrects the key."""
+        outcome = merge_for_compaction(
+            [sorted_run(put(1, 9)), sorted_run(tomb(1, 5))],
+            [],
+            into_last_level=True,
+        )
+        assert [e.key for e in outcome.entries] == [1]
+        assert outcome.dropped_tombstones == []  # superseded, not persisted
+        assert outcome.invalid_entries_dropped == 1
+
+
+class TestReadMerge:
+    def test_suppresses_tombstoned_keys(self):
+        result = merge_for_read(
+            [sorted_run(tomb(1, 9), put(2, 3)), sorted_run(put(1, 2))],
+            [],
+        )
+        assert [e.key for e in result] == [2]
+
+    def test_applies_range_tombstones(self):
+        rt = RangeTombstone(start=0, end=5, seqnum=100)
+        result = merge_for_read([sorted_run(put(1, 3), put(7, 4))], [rt])
+        assert [e.key for e in result] == [7]
+
+
+# ----------------------------------------------------------------------
+# Property: compaction merge output equals a model dict replay.
+# ----------------------------------------------------------------------
+
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "del"]),
+        st.integers(min_value=0, max_value=30),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+@given(ops=_ops, runs=st.integers(min_value=1, max_value=5),
+       last=st.booleans())
+@settings(max_examples=80, deadline=None)
+def test_property_merge_matches_model(ops, runs, last):
+    """Splitting a history into runs and merging = replaying it in order."""
+    entries = []
+    model: dict[int, tuple[int, bool]] = {}
+    for seq, (op, key) in enumerate(ops):
+        entry = put(key, seq) if op == "put" else tomb(key, seq)
+        entries.append(entry)
+        model[key] = (seq, op == "del")
+    # deal entries round-robin into runs; within a run keep one version
+    # per key (the newest), as real runs do.
+    per_run: list[dict[int, Entry]] = [dict() for _ in range(runs)]
+    for index, entry in enumerate(entries):
+        bucket = per_run[index % runs]
+        held = bucket.get(entry.key)
+        if held is None or entry.seqnum > held.seqnum:
+            bucket[entry.key] = entry
+    streams = [
+        iter(sorted(bucket.values(), key=lambda e: e.sort_token()))
+        for bucket in per_run
+    ]
+    outcome = merge_for_compaction(streams, [], into_last_level=last)
+    got = {e.key: (e.seqnum, e.is_tombstone) for e in outcome.entries}
+    if last:
+        expected = {
+            k: (seq, False) for k, (seq, deleted) in model.items() if not deleted
+        }
+    else:
+        expected = model
+    assert got == expected
+    # survivors must be key-sorted
+    keys = [e.key for e in outcome.entries]
+    assert keys == sorted(keys)

@@ -1,0 +1,89 @@
+"""Unit tests for the lazy-leveling hybrid policy."""
+
+import random
+
+import pytest
+
+from repro.core.config import MergePolicy, rocksdb_config
+from repro.core.engine import LSMEngine
+
+from tests.conftest import TINY
+
+
+def lazy_engine(**overrides):
+    return LSMEngine(
+        rocksdb_config(
+            **{**TINY, "merge_policy": MergePolicy.LAZY_LEVELING, **overrides}
+        )
+    )
+
+
+class TestStructure:
+    def test_last_level_stays_single_run(self):
+        engine = lazy_engine()
+        for i in range(2000):
+            engine.put(i, f"v{i}")
+        deepest = engine.tree.deepest_nonempty_level()
+        assert engine.tree.level(deepest).run_count == 1
+
+    def test_intermediate_levels_accumulate_runs(self):
+        engine = lazy_engine()
+        rng = random.Random(4)
+        for i in range(3000):
+            engine.put(rng.randrange(1 << 16), f"v{i}")
+        intermediates = [
+            level.run_count
+            for level in engine.tree.levels
+            if not level.is_empty
+            and level.number < engine.tree.deepest_nonempty_level()
+        ]
+        assert intermediates and max(intermediates) > 1
+
+    def test_run_quota_respected(self):
+        engine = lazy_engine()
+        rng = random.Random(5)
+        for i in range(4000):
+            engine.put(rng.randrange(1 << 16), f"v{i}")
+        t = engine.config.size_ratio
+        for level in engine.tree.levels:
+            assert level.run_count <= t
+
+
+class TestSemantics:
+    def test_round_trip(self):
+        engine = lazy_engine()
+        rng = random.Random(6)
+        model = {}
+        for i in range(2500):
+            key = rng.randrange(500)
+            engine.put(key, f"v{i}")
+            model[key] = f"v{i}"
+        for key, value in model.items():
+            assert engine.get(key) == value
+
+    def test_deletes_persist_at_leveled_last_level(self):
+        engine = lazy_engine()
+        for i in range(500):
+            engine.put(i, f"v{i}")
+        for i in range(0, 500, 5):
+            engine.delete(i)
+        # push everything down until stable
+        for _ in range(3):
+            engine.flush()
+        for i in range(500):
+            expected = None if i % 5 == 0 else f"v{i}"
+            assert engine.get(i) == expected
+
+    def test_write_cost_below_pure_leveling(self):
+        """The point of the hybrid: fewer rewrite bytes than leveling."""
+        rng = random.Random(7)
+        ops = [(rng.randrange(1 << 16), f"v{i}") for i in range(4000)]
+        lazy = lazy_engine()
+        leveled = LSMEngine(rocksdb_config(**TINY))
+        for key, value in ops:
+            lazy.put(key, value)
+            leveled.put(key, value)
+        assert (
+            lazy.stats.compaction_bytes_written
+            <= leveled.stats.compaction_bytes_written
+        )

@@ -1,0 +1,129 @@
+"""Unit tests for the Level abstraction (leveled and tiered organisation)."""
+
+import pytest
+
+from repro.core.config import rocksdb_config
+from repro.core.errors import CompactionError
+from repro.core.stats import Statistics
+from repro.lsm.level import Level
+from repro.lsm.sstable import build_sstable
+from repro.storage.disk import SimulatedDisk
+
+from tests.conftest import TINY, make_entries
+
+
+def sstable(keys, seq_start=0):
+    stats = Statistics()
+    return build_sstable(
+        make_entries(keys, seq_start=seq_start),
+        [],
+        rocksdb_config(**TINY),
+        SimulatedDisk(stats),
+        stats,
+        now=0.0,
+        level=1,
+    )
+
+
+class TestConstruction:
+    def test_validates_number_and_capacity(self):
+        with pytest.raises(ValueError):
+            Level(0, 100)
+        with pytest.raises(ValueError):
+            Level(1, 0)
+
+    def test_empty_level(self):
+        level = Level(1, 100)
+        assert level.is_empty
+        assert level.num_entries == 0
+        assert not level.is_saturated()
+
+
+class TestLeveledRuns:
+    def test_merge_into_single_run_sorts_files(self):
+        level = Level(1, 1000)
+        b = sstable(range(10, 20), seq_start=100)
+        a = sstable(range(0, 10))
+        level.merge_into_single_run([b, a])
+        assert [f.min_key for f in level.files()] == [0, 10]
+        assert level.run_count == 1
+        assert all(f.meta.level == 1 for f in level.files())
+
+    def test_insert_into_run_keeps_order(self):
+        level = Level(1, 1000)
+        level.merge_into_single_run([sstable(range(0, 10))])
+        level.insert_into_run([sstable(range(20, 30), seq_start=50)])
+        assert [f.min_key for f in level.files()] == [0, 20]
+        assert level.run_count == 1
+
+    def test_insert_into_multi_run_level_rejected(self):
+        level = Level(1, 1000)
+        level.add_run([sstable(range(0, 10))])
+        level.add_run([sstable(range(0, 10), seq_start=60)])
+        with pytest.raises(CompactionError):
+            level.insert_into_run([sstable(range(40, 50), seq_start=99)])
+
+
+class TestTieredRuns:
+    def test_add_run_newest_first(self):
+        level = Level(1, 1000)
+        old = sstable(range(0, 10))
+        new = sstable(range(0, 10), seq_start=50)
+        level.add_run([old])
+        level.add_run([new])
+        assert level.run_count == 2
+        assert next(iter(level.files())) is new
+
+    def test_add_empty_run_is_noop(self):
+        level = Level(1, 1000)
+        level.add_run([])
+        assert level.is_empty
+
+
+class TestRemoveFiles:
+    def test_remove_from_single_run(self):
+        level = Level(1, 1000)
+        a = sstable(range(0, 10))
+        b = sstable(range(20, 30), seq_start=40)
+        level.merge_into_single_run([a, b])
+        level.remove_files([a])
+        assert [f.min_key for f in level.files()] == [20]
+
+    def test_remove_drops_empty_runs(self):
+        level = Level(1, 1000)
+        a = sstable(range(0, 10))
+        level.add_run([a])
+        level.remove_files([a])
+        assert level.run_count == 0
+
+    def test_remove_unknown_file_rejected(self):
+        level = Level(1, 1000)
+        level.add_run([sstable(range(0, 10))])
+        with pytest.raises(CompactionError):
+            level.remove_files([sstable(range(50, 60), seq_start=99)])
+
+
+class TestQueries:
+    def test_saturation(self):
+        level = Level(1, 15)
+        level.merge_into_single_run([sstable(range(0, 10))])
+        assert not level.is_saturated()
+        level.insert_into_run([sstable(range(20, 30), seq_start=40)])
+        assert level.is_saturated()  # 20 entries > 15
+
+    def test_overlapping_files(self):
+        level = Level(1, 1000)
+        a = sstable(range(0, 10))
+        b = sstable(range(20, 30), seq_start=40)
+        level.merge_into_single_run([a, b])
+        assert level.overlapping_files(5, 8) == [a]
+        assert level.overlapping_files(5, 25) == [a, b]
+        assert level.overlapping_files(100, 200) == []
+
+    def test_counters(self):
+        level = Level(1, 1000)
+        level.merge_into_single_run([sstable(range(0, 10))])
+        assert level.num_entries == 10
+        assert level.file_count == 1
+        assert level.size_bytes > 0
+        assert level.tombstone_count() == 0

@@ -1,0 +1,62 @@
+"""Unit tests for the manifest's edit log and live-file index."""
+
+import pytest
+
+from repro.lsm.manifest import Manifest, ManifestOp
+
+
+class TestEdits:
+    def test_add_and_remove(self):
+        manifest = Manifest()
+        manifest.begin_version()
+        manifest.log_add(1, level=1, reason="flush")
+        assert manifest.live_files == {1: 1}
+        manifest.log_remove(1, reason="compacted")
+        assert manifest.live_files == {}
+
+    def test_double_add_rejected(self):
+        manifest = Manifest()
+        manifest.log_add(1, 1, "flush")
+        with pytest.raises(ValueError):
+            manifest.log_add(1, 2, "flush")
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest().log_remove(9, "x")
+
+    def test_move_updates_level(self):
+        manifest = Manifest()
+        manifest.log_add(1, 1, "flush")
+        manifest.log_move(1, 2, "trivial-move")
+        assert manifest.live_files == {1: 2}
+        assert manifest.live_at_level(2) == {1}
+        assert manifest.live_at_level(1) == set()
+
+    def test_move_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            Manifest().log_move(9, 2, "x")
+
+
+class TestVersionsAndReplay:
+    def test_version_counter(self):
+        manifest = Manifest()
+        assert manifest.begin_version() == 1
+        assert manifest.begin_version() == 2
+        assert manifest.version == 2
+
+    def test_replay_reconstructs_live_set(self):
+        manifest = Manifest()
+        manifest.begin_version()
+        manifest.log_add(1, 1, "flush")
+        manifest.log_add(2, 1, "flush")
+        manifest.begin_version()
+        manifest.log_remove(1, "compacted")
+        manifest.log_add(3, 2, "compaction-output")
+        assert manifest.replay() == manifest.live_files == {2: 1, 3: 2}
+
+    def test_history_preserves_order(self):
+        manifest = Manifest()
+        manifest.log_add(1, 1, "a")
+        manifest.log_remove(1, "b")
+        ops = [e.op for e in manifest.history()]
+        assert ops == [ManifestOp.ADD, ManifestOp.REMOVE]

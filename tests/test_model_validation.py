@@ -1,0 +1,168 @@
+"""Cross-validation: the §3.2 analytical models vs the measured engine.
+
+The closed-form costs in ``repro.analysis`` and the simulated engine are
+independent implementations of the same design; where the model makes a
+scale-free prediction (a ratio, an exponent, a bound) the engine must
+agree. These tests catch drift between the two.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.cost_model import CostModel, Design, ModelParams, Policy
+from repro.core.config import lethe_config, rocksdb_config
+from repro.core.engine import LSMEngine
+
+SETUP = dict(
+    buffer_pages=4,
+    page_entries=4,
+    file_pages=8,
+    size_ratio=4,
+    bits_per_key=10.0,
+    ingestion_rate=1024.0,
+)
+
+
+class TestLookupCostValidation:
+    def test_zero_result_cost_scales_with_h(self):
+        """Model: zero-result lookups cost O(h·e^{-m/N}) — measured cost at
+        h=8 must be roughly 4× the cost at h=2 (within noise)."""
+        costs = {}
+        for h in (2, 8):
+            engine = LSMEngine(
+                lethe_config(1e9, delete_tile_pages=h, **SETUP)
+            )
+            rng = random.Random(21)
+            inserted = set()
+            for i in range(1000):
+                key = rng.randrange(1 << 24)
+                engine.put(key, "v", delete_key=i)
+                inserted.add(key)
+            engine.flush()
+            engine.force_full_compaction()
+            engine.stats.reset_read_counters()
+            probes = 0
+            while probes < 1500:
+                key = rng.randrange(1 << 24)
+                if key in inserted:
+                    continue
+                engine.get(key)
+                probes += 1
+            costs[h] = engine.stats.average_lookup_ios()
+        if costs[2] > 0:
+            ratio = costs[8] / costs[2]
+            assert 2.0 <= ratio <= 8.0  # model predicts 4
+
+    def test_nonzero_lookup_is_one_io_plus_fp(self):
+        """Model: non-zero lookups cost 1 + o(1) at low FPR on a compacted
+        classic tree."""
+        engine = LSMEngine(rocksdb_config(**SETUP))
+        keys = []
+        rng = random.Random(22)
+        for i in range(1000):
+            key = rng.randrange(1 << 24)
+            engine.put(key, "v")
+            keys.append(key)
+        engine.force_full_compaction()
+        engine.stats.reset_read_counters()
+        for _ in range(1000):
+            engine.get(keys[rng.randrange(len(keys))])
+        assert engine.stats.average_lookup_ios() == pytest.approx(1.0, abs=0.1)
+
+
+class TestSecondaryDeleteCostValidation:
+    def test_classic_cost_independent_of_selectivity(self):
+        """Model (§3.3): the classic layout pays O(N/B) regardless of how
+        little is deleted."""
+        ios = {}
+        for selectivity in (0.01, 0.5):
+            engine = LSMEngine(rocksdb_config(**SETUP))
+            rng = random.Random(23)
+            for i in range(800):
+                engine.put(rng.randrange(1 << 24), "v", delete_key=i)
+            engine.force_full_compaction()
+            before = engine.stats.pages_read
+            engine.secondary_range_delete(0, max(1, int(800 * selectivity)))
+            ios[selectivity] = engine.stats.pages_read - before
+        assert ios[0.01] == pytest.approx(ios[0.5], rel=0.25)
+
+    def test_kiwi_cost_shrinks_with_h(self):
+        """Model: O(N/(B·h)) — doubling h must not increase the purge I/O
+        and should shrink it substantially across the sweep."""
+        ios = {}
+        for h in (1, 8):
+            engine = LSMEngine(
+                lethe_config(1e9, delete_tile_pages=h,
+                             force_kiwi_layout=True, **SETUP)
+            )
+            rng = random.Random(24)
+            for i in range(800):
+                engine.put(rng.randrange(1 << 24), "v",
+                           delete_key=rng.randrange(1 << 24))
+            engine.force_full_compaction()
+            before = engine.stats.pages_read + engine.stats.pages_written
+            engine.secondary_range_delete(0, (1 << 24) // 2)  # 50% purge
+            ios[h] = (
+                engine.stats.pages_read + engine.stats.pages_written - before
+            )
+        assert ios[8] < ios[1]
+
+
+class TestPersistenceLatencyValidation:
+    def test_soa_latency_tracks_ingestion_model(self):
+        """Model (§3.2.4): SoA persistence needs ~T^{L-1}·P·B/I seconds of
+        unique insertions. A tombstone below fresh data should persist in
+        the same order of magnitude as the model's bound."""
+        params = ModelParams(
+            num_entries=4000,
+            size_ratio=SETUP["size_ratio"],
+            num_levels=3,
+            buffer_pages=SETUP["buffer_pages"],
+            page_entries=SETUP["page_entries"],
+            ingestion_rate=SETUP["ingestion_rate"],
+        )
+        bound = CostModel(
+            params, Design.STATE_OF_THE_ART, Policy.LEVELING
+        ).delete_persistence_latency()
+        engine = LSMEngine(rocksdb_config(**SETUP))
+        rng = random.Random(25)
+        engine.put(7, "target")
+        engine.delete(7)
+        count = 0
+        while engine.stats.unpersisted_count() > 0 and count < 20000:
+            engine.put(rng.randrange(1 << 24), "filler")
+            count += 1
+        assert engine.stats.unpersisted_count() == 0, "never persisted"
+        measured = engine.stats.persisted_latencies()[0]
+        # same order of magnitude as the model's worst case
+        assert measured <= bound * 10
+
+    def test_fade_latency_tracks_dth_not_ingestion(self):
+        """Model: FADE's latency is O(D_th), decoupled from tree size."""
+        d_th = 0.25
+        engine = LSMEngine(lethe_config(d_th, **SETUP))
+        rng = random.Random(26)
+        for i in range(1000):
+            engine.put(rng.randrange(1 << 24), "filler")
+        engine.put(7, "target")
+        engine.delete(7)
+        engine.advance_time(2 * d_th)
+        latencies = engine.stats.persisted_latencies()
+        slack = 4 * engine.config.buffer_entries / engine.config.ingestion_rate
+        assert max(latencies) <= d_th + slack
+
+
+class TestSpaceAmpValidation:
+    def test_update_only_space_amp_bounded_by_model(self):
+        """Model (§3.2.1, no deletes, leveling): samp = O(1/T)."""
+        engine = LSMEngine(rocksdb_config(**SETUP))
+        rng = random.Random(27)
+        keys = [rng.randrange(1 << 20) for _ in range(600)]
+        for repetition in range(3):
+            for key in keys:
+                engine.put(key, f"r{repetition}")
+        engine.force_full_compaction()
+        # after full compaction nothing superfluous remains
+        assert engine.space_amplification() == pytest.approx(0.0, abs=1e-9)

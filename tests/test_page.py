@@ -1,0 +1,137 @@
+"""Unit tests for the Page abstraction."""
+
+import pytest
+
+from repro.core.errors import PageFullError
+from repro.storage.entry import Entry, EntryKind
+from repro.storage.page import Page
+
+from tests.conftest import make_entries
+
+
+class TestConstruction:
+    def test_empty_page(self):
+        page = Page(capacity=4)
+        assert page.is_empty
+        assert len(page) == 0
+
+    def test_prefilled_sorted(self):
+        page = Page(4, make_entries([1, 2, 3]))
+        assert page.min_key == 1
+        assert page.max_key == 3
+
+    def test_rejects_unsorted(self):
+        entries = make_entries([1, 2, 3])
+        shuffled = [entries[2], entries[0], entries[1]]
+        with pytest.raises(ValueError):
+            Page(4, shuffled)
+
+    def test_rejects_overflow(self):
+        with pytest.raises(PageFullError):
+            Page(2, make_entries([1, 2, 3]))
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            Page(0)
+
+
+class TestAppend:
+    def test_append_in_order(self):
+        page = Page(3)
+        for entry in make_entries([5, 7, 9]):
+            page.append(entry)
+        assert len(page) == 3
+        assert page.is_full
+
+    def test_append_out_of_order_rejected(self):
+        page = Page(3)
+        entries = make_entries([5, 7])
+        page.append(entries[1])  # key 7 first
+        with pytest.raises(ValueError):
+            page.append(entries[0])  # then key 5
+
+    def test_append_beyond_capacity_rejected(self):
+        page = Page(1, make_entries([1]))
+        with pytest.raises(PageFullError):
+            page.append(make_entries([2], seq_start=10)[0])
+
+    def test_append_after_seal_rejected(self):
+        page = Page(2, make_entries([1])).seal()
+        with pytest.raises(PageFullError):
+            page.append(make_entries([2], seq_start=10)[0])
+
+    def test_equal_keys_allowed_on_append(self):
+        """Merged scratch pages may briefly hold two versions of a key."""
+        page = Page(2)
+        page.append(Entry(key=1, seqnum=5, kind=EntryKind.PUT, value="a"))
+        page.append(Entry(key=1, seqnum=2, kind=EntryKind.PUT, value="b"))
+        assert len(page) == 2
+
+
+class TestSearch:
+    def test_find_present(self):
+        page = Page(4, make_entries([10, 20, 30, 40]))
+        assert page.find(30).key == 30
+
+    def test_find_absent(self):
+        page = Page(4, make_entries([10, 20, 30, 40]))
+        assert page.find(25) is None
+        assert page.find(5) is None
+        assert page.find(99) is None
+
+    def test_find_returns_newest_duplicate(self):
+        page = Page(3)
+        page.append(Entry(key=1, seqnum=2, kind=EntryKind.PUT, value="old"))
+        page.append(Entry(key=1, seqnum=8, kind=EntryKind.PUT, value="new"))
+        assert page.find(1).seqnum == 8
+
+    def test_range(self):
+        page = Page(8, make_entries([1, 3, 5, 7, 9]))
+        assert [e.key for e in page.range(3, 7)] == [3, 5, 7]
+        assert [e.key for e in page.range(4, 4)] == []
+        assert [e.key for e in page.range(0, 100)] == [1, 3, 5, 7, 9]
+
+
+class TestDeleteKeyMetadata:
+    def test_min_max_delete_keys(self):
+        page = Page(4, make_entries([1, 2, 3], delete_keys=[30, 10, 20]))
+        assert page.min_delete_key() == 10
+        assert page.max_delete_key() == 30
+
+    def test_delete_keys_absent(self):
+        page = Page(4, make_entries([1, 2]))
+        assert page.min_delete_key() is None
+        assert page.max_delete_key() is None
+
+    def test_entries_with_delete_key_in(self):
+        page = Page(4, make_entries([1, 2, 3], delete_keys=[30, 10, 20]))
+        hits = page.entries_with_delete_key_in(10, 25)
+        assert sorted(e.delete_key for e in hits) == [10, 20]
+
+    def test_fully_inside_delete_range(self):
+        page = Page(4, make_entries([1, 2, 3], delete_keys=[12, 15, 18]))
+        assert page.fully_inside_delete_range(10, 20)
+        assert not page.fully_inside_delete_range(10, 18)  # 18 end-exclusive
+        assert not page.fully_inside_delete_range(13, 20)
+
+    def test_fully_inside_false_with_missing_delete_key(self):
+        entries = make_entries([1, 2], delete_keys=[12, None])
+        page = Page(4, entries)
+        assert not page.fully_inside_delete_range(0, 100)
+
+    def test_empty_page_never_fully_inside(self):
+        assert not Page(4).fully_inside_delete_range(0, 100)
+
+
+class TestAccounting:
+    def test_size_bytes(self):
+        page = Page(4, make_entries([1, 2], size=100))
+        assert page.size_bytes == 200
+
+    def test_tombstone_count(self):
+        from repro.storage.entry import EntryKind
+
+        puts = make_entries([1, 2])
+        tombs = make_entries([5], seq_start=10, kind=EntryKind.TOMBSTONE)
+        page = Page(4, puts + tombs)
+        assert page.tombstone_count == 1

@@ -1,0 +1,51 @@
+"""Unit tests for the bench reporting helpers."""
+
+from repro.bench.reporting import format_series, format_table, ratio_summary
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        text = format_table(
+            ["name", "value"],
+            [["short", 1], ["a-much-longer-name", 123456]],
+            title="T",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert lines[1].startswith("name")
+        assert set(lines[2]) <= {"-", " "}
+        assert len(lines) == 5
+        # columns align: every row has the separator's width or less
+        assert all(len(line) <= len(lines[2]) + 2 for line in lines[3:])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[0.123456], [12345.6], [0.0001234], [0]])
+        assert "0.123" in text
+        assert "1.23e+04" in text or "12345" in text.replace(",", "")
+        assert "0.000123" in text
+        assert "\n0" in text
+
+    def test_no_title(self):
+        text = format_table(["a"], [[1]])
+        assert text.splitlines()[0] == "a"
+
+
+class TestFormatSeries:
+    def test_pairs(self):
+        text = format_series("name", [1, 2], [10.5, 20])
+        assert text.startswith("name: ")
+        assert "1→10.5" in text and "2→20" in text
+
+
+class TestRatioSummary:
+    def test_better(self):
+        text = ratio_summary("metric", 1.0, 2.0)
+        assert "2.00× better" in text
+
+    def test_worse(self):
+        text = ratio_summary("metric", 4.0, 2.0)
+        assert "2.00× worse" in text
+
+    def test_zero_cases(self):
+        assert "both 0" in ratio_summary("m", 0.0, 0.0)
+        assert "∞× better" in ratio_summary("m", 0.0, 5.0)

@@ -1,0 +1,83 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.core.stats import PersistenceRecord, Statistics
+
+
+class TestPersistenceRecord:
+    def test_latency_none_until_persisted(self):
+        record = PersistenceRecord(key=1, inserted_at=5.0)
+        assert record.latency is None
+        record.persisted_at = 8.0
+        assert record.latency == pytest.approx(3.0)
+
+
+class TestStatistics:
+    def test_record_tombstone_insert(self):
+        stats = Statistics()
+        record = stats.record_tombstone_insert(key=9, now=2.0)
+        assert stats.persistence_records == [record]
+        assert stats.unpersisted_count() == 1
+        record.persisted_at = 4.0
+        assert stats.unpersisted_count() == 0
+        assert stats.persisted_latencies() == [pytest.approx(2.0)]
+        assert stats.max_persistence_latency() == pytest.approx(2.0)
+
+    def test_max_latency_none_when_empty(self):
+        assert Statistics().max_persistence_latency() is None
+
+    def test_total_bytes_written(self):
+        stats = Statistics()
+        stats.bytes_flushed = 100
+        stats.compaction_bytes_written = 250
+        assert stats.total_bytes_written == 350
+
+    def test_write_amplification_formula(self):
+        """§3.2.3: wamp = (csize(N+) − csize(N)) / csize(N)."""
+        stats = Statistics()
+        stats.bytes_flushed = 100
+        stats.compaction_bytes_written = 250
+        assert stats.write_amplification(100) == pytest.approx(2.5)
+
+    def test_write_amplification_zero_guard(self):
+        stats = Statistics()
+        assert stats.write_amplification(0) == 0.0
+        stats.bytes_flushed = 10
+        assert stats.write_amplification(100) == 0.0  # clamped at 0
+
+    def test_average_lookup_ios(self):
+        stats = Statistics()
+        assert stats.average_lookup_ios() == 0.0
+        stats.point_lookups = 4
+        stats.lookup_pages_read = 6
+        assert stats.average_lookup_ios() == pytest.approx(1.5)
+
+    def test_simulated_times(self):
+        stats = Statistics()
+        stats.pages_read = 3
+        stats.pages_written = 2
+        stats.bloom_hash_computations = 1000
+        assert stats.simulated_io_seconds(100e-6) == pytest.approx(5 * 100e-6)
+        assert stats.simulated_hash_seconds(80e-9) == pytest.approx(8e-5)
+
+    def test_snapshot_covers_all_counters(self):
+        stats = Statistics()
+        stats.compactions = 7
+        snap = stats.snapshot()
+        assert snap["compactions"] == 7
+        assert "pages_dropped_full" in snap
+        assert "srd_pages_written" in snap
+        assert len(snap) >= 30
+
+    def test_reset_read_counters(self):
+        stats = Statistics()
+        stats.point_lookups = 5
+        stats.lookup_pages_read = 9
+        stats.bloom_probes = 3
+        stats.compactions = 2  # a write counter: must survive
+        stats.reset_read_counters()
+        assert stats.point_lookups == 0
+        assert stats.lookup_pages_read == 0
+        assert stats.bloom_probes == 0
+        assert stats.compactions == 2

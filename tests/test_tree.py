@@ -1,0 +1,170 @@
+"""Unit tests for LSMTree: levels, lookups, and snapshot analytics."""
+
+import pytest
+
+from repro.core.config import rocksdb_config
+from repro.core.stats import Statistics
+from repro.lsm.sstable import build_sstable
+from repro.lsm.tree import LSMTree
+from repro.storage.disk import SimulatedDisk
+from repro.storage.entry import EntryKind, RangeTombstone
+
+from tests.conftest import TINY, make_entries
+
+
+@pytest.fixture
+def setup():
+    stats = Statistics()
+    disk = SimulatedDisk(stats)
+    config = rocksdb_config(**TINY)
+    tree = LSMTree(config, stats)
+    return tree, config, disk, stats
+
+
+def add_file(tree, config, disk, stats, level, keys, seq_start=0, rts=(),
+             kind=EntryKind.PUT, write_time=0.0):
+    table = build_sstable(
+        make_entries(keys, seq_start=seq_start, kind=kind, write_time=write_time),
+        list(rts), config, disk, stats, now=write_time, level=level,
+    )
+    tree.ensure_level(level).insert_into_run([table])
+    return table
+
+
+class TestLevels:
+    def test_ensure_level_grows(self, setup):
+        tree, config, *_ = setup
+        tree.ensure_level(3)
+        assert tree.height == 3
+        assert tree.level(2).capacity_entries == config.level_capacity_entries(2)
+
+    def test_deepest_nonempty(self, setup):
+        tree, config, disk, stats = setup
+        assert tree.deepest_nonempty_level() == 0
+        add_file(tree, config, disk, stats, 2, range(10))
+        tree.ensure_level(3)
+        assert tree.deepest_nonempty_level() == 2
+
+    def test_is_last_level(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, range(10))
+        tree.ensure_level(3)
+        assert tree.is_last_level(1)
+        add_file(tree, config, disk, stats, 3, range(20, 30), seq_start=50)
+        assert not tree.is_last_level(1)
+        assert tree.is_last_level(3)
+
+
+class TestLookup:
+    def test_newest_level_wins(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 2, [5], seq_start=1)
+        add_file(tree, config, disk, stats, 1, [5], seq_start=10)
+        assert tree.lookup(5).seqnum == 10
+
+    def test_descends_to_deeper_levels(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1], seq_start=10)
+        add_file(tree, config, disk, stats, 2, [5], seq_start=1)
+        assert tree.lookup(5).seqnum == 1
+
+    def test_absent_returns_none(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1])
+        assert tree.lookup(99) is None
+
+    def test_tombstone_returned_as_entry(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [5], seq_start=10,
+                 kind=EntryKind.TOMBSTONE)
+        add_file(tree, config, disk, stats, 2, [5], seq_start=1)
+        got = tree.lookup(5)
+        assert got.is_tombstone and got.seqnum == 10
+
+    def test_range_tombstone_hides_older_entry(self, setup):
+        tree, config, disk, stats = setup
+        rt = RangeTombstone(start=0, end=10, seqnum=50)
+        add_file(tree, config, disk, stats, 1, [20], seq_start=60, rts=[rt])
+        add_file(tree, config, disk, stats, 2, [5], seq_start=1)
+        assert tree.lookup(5) is None
+
+    def test_newer_put_survives_upper_range_tombstone(self, setup):
+        tree, config, disk, stats = setup
+        rt = RangeTombstone(start=0, end=10, seqnum=50)
+        add_file(tree, config, disk, stats, 1, [20], seq_start=60, rts=[rt])
+        add_file(tree, config, disk, stats, 2, [5], seq_start=55)
+        assert tree.lookup(5).seqnum == 55
+
+    def test_tiered_level_checks_newest_run_first(self, setup):
+        tree, config, disk, stats = setup
+        level = tree.ensure_level(1)
+        old = build_sstable(make_entries([5], seq_start=1), [], config, disk,
+                            stats, 0.0, 1)
+        new = build_sstable(make_entries([5], seq_start=9), [], config, disk,
+                            stats, 0.0, 1)
+        level.add_run([old])
+        level.add_run([new])
+        assert tree.lookup(5).seqnum == 9
+
+
+class TestScan:
+    def test_merges_levels_and_dedups(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1, 3], seq_start=10)
+        add_file(tree, config, disk, stats, 2, [1, 2], seq_start=0)
+        hits = tree.scan(0, 10)
+        assert [(e.key, e.seqnum) for e in hits] == [(1, 10), (2, 1), (3, 11)]
+
+    def test_tombstones_suppressed(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [2], seq_start=10,
+                 kind=EntryKind.TOMBSTONE)
+        add_file(tree, config, disk, stats, 2, [1, 2], seq_start=0)
+        assert [e.key for e in tree.scan(0, 10)] == [1]
+
+    def test_buffer_stream_injected(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [2], seq_start=0)
+        buffered = make_entries([3], seq_start=90)
+        hits = tree.scan(0, 10, extra_streams=[buffered])
+        assert [e.key for e in hits] == [2, 3]
+
+
+class TestAnalytics:
+    def test_space_amplification_zero_for_unique(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, range(10))
+        assert tree.space_amplification() == pytest.approx(0.0)
+
+    def test_space_amplification_counts_duplicates(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, range(10), seq_start=100)
+        add_file(tree, config, disk, stats, 2, range(10), seq_start=0)
+        # ten stale versions of size 100 over ten live of size 100 → 1.0
+        assert tree.space_amplification() == pytest.approx(1.0)
+
+    def test_space_amplification_counts_tombstones(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1, 2], seq_start=100,
+                 kind=EntryKind.TOMBSTONE)
+        add_file(tree, config, disk, stats, 2, [1, 2, 3], seq_start=0)
+        total, unique = tree.live_unique_bytes()
+        assert unique == 100  # only key 3 lives
+        assert total == 300 + 22  # three puts + two 11-byte tombstones
+        assert tree.space_amplification() == pytest.approx(222 / 100)
+
+    def test_tombstone_age_distribution(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1], seq_start=10,
+                 kind=EntryKind.TOMBSTONE, write_time=4.0)
+        add_file(tree, config, disk, stats, 2, [9], seq_start=5,
+                 kind=EntryKind.TOMBSTONE, write_time=1.0)
+        distribution = tree.tombstone_age_distribution(now=10.0)
+        assert distribution == [(6.0, 1), (9.0, 1)]
+
+    def test_max_tombstone_amax(self, setup):
+        tree, config, disk, stats = setup
+        add_file(tree, config, disk, stats, 1, [1], seq_start=10,
+                 kind=EntryKind.TOMBSTONE, write_time=4.0)
+        assert tree.max_tombstone_amax(now=10.0) == pytest.approx(6.0)
+        assert tree.max_tombstone_amax(now=3.0) == 0.0  # clamped

@@ -1,0 +1,183 @@
+"""Unit tests for KiWi tuning: Eq. (1)–(3) of §4.2.6/§4.3."""
+
+import pytest
+
+from repro.core.errors import TuningError
+from repro.kiwi.tuning import (
+    WorkloadMix,
+    best_feasible_h,
+    optimal_tile_granularity,
+    workload_cost,
+)
+
+
+class TestPaperWorkedExample:
+    def test_section_4_3_example(self):
+        """§4.3: 400 GB DB, 4 KB pages, 50M point queries and 10K short
+        range queries per range delete, FPR ≈ 0.02, T = 10 → h ≈ 102."""
+        total_entries = 400 * 2**30 // 1024  # 400 GB of 1KB entries
+        page_entries = 4                      # 4 KB pages
+        mix = WorkloadMix(
+            f_empty_point_query=0.0,
+            f_point_query=5e7,
+            f_short_range_query=1e4,
+            f_secondary_range_delete=1.0,
+        )
+        # paper evaluates L = log10(400GB / 4KB) = 8
+        h = optimal_tile_granularity(
+            mix, total_entries, page_entries, fpr=0.02, levels=8
+        )
+        assert h == pytest.approx(102, abs=8)
+
+
+class TestOptimalGranularity:
+    def test_requires_secondary_deletes(self):
+        with pytest.raises(TuningError):
+            optimal_tile_granularity(
+                WorkloadMix(f_point_query=1.0), 1000, 4, 0.01, 3
+            )
+
+    def test_more_lookups_means_smaller_h(self):
+        base = dict(total_entries=10**6, page_entries=4, fpr=0.02, levels=3)
+        few_lookups = optimal_tile_granularity(
+            WorkloadMix(f_point_query=1e3, f_secondary_range_delete=1.0), **base
+        )
+        many_lookups = optimal_tile_granularity(
+            WorkloadMix(f_point_query=1e6, f_secondary_range_delete=1.0), **base
+        )
+        assert many_lookups < few_lookups
+
+    def test_no_read_pressure_returns_max(self):
+        h = optimal_tile_granularity(
+            WorkloadMix(f_secondary_range_delete=1.0), 1000, 4, 0.01, 3
+        )
+        assert h == 250  # all pages in one tile
+
+    def test_never_below_one(self):
+        h = optimal_tile_granularity(
+            WorkloadMix(f_point_query=1e12, f_secondary_range_delete=1.0),
+            1000, 4, 0.5, 10,
+        )
+        assert h == 1
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(TuningError):
+            optimal_tile_granularity(
+                WorkloadMix(f_secondary_range_delete=1.0), 0, 4, 0.01, 3
+            )
+
+
+class TestWorkloadCost:
+    def test_srd_term_decreases_with_h(self):
+        mix = WorkloadMix(f_secondary_range_delete=1.0)
+        c1 = workload_cost(mix, 1, 10**6, 4, 0.02, 3)
+        c8 = workload_cost(mix, 8, 10**6, 4, 0.02, 3)
+        assert c8 == pytest.approx(c1 / 8)
+
+    def test_lookup_terms_increase_with_h(self):
+        mix = WorkloadMix(f_empty_point_query=1.0, f_point_query=1.0,
+                          f_short_range_query=1.0)
+        c1 = workload_cost(mix, 1, 10**6, 4, 0.02, 3)
+        c8 = workload_cost(mix, 8, 10**6, 4, 0.02, 3)
+        assert c8 > c1
+
+    def test_long_range_term_independent_of_h(self):
+        mix = WorkloadMix(f_long_range_query=1.0, long_range_selectivity=0.01)
+        c1 = workload_cost(mix, 1, 10**6, 4, 0.02, 3)
+        c64 = workload_cost(mix, 64, 10**6, 4, 0.02, 3)
+        assert c1 == pytest.approx(c64)
+
+    def test_insert_term_amortized(self):
+        mix = WorkloadMix(f_insert=1.0)
+        cost = workload_cost(mix, 1, 10**6, 4, 0.02, 3, size_ratio=10)
+        assert cost > 0
+
+    def test_invalid_h_rejected(self):
+        with pytest.raises(TuningError):
+            workload_cost(WorkloadMix(), 0, 1000, 4, 0.01, 3)
+
+    def test_negative_mix_rejected(self):
+        with pytest.raises(TuningError):
+            WorkloadMix(f_point_query=-1.0)
+
+
+class TestBestFeasibleH:
+    def test_pure_lookups_pick_h1(self):
+        mix = WorkloadMix(f_point_query=1.0)
+        assert best_feasible_h(mix, 10**6, 4, 0.02, 3, file_pages=256) == 1
+
+    def test_srd_heavy_picks_larger_h(self):
+        mix = WorkloadMix(f_point_query=1.0, f_secondary_range_delete=0.1)
+        h = best_feasible_h(mix, 10**6, 4, 0.02, 3, file_pages=256)
+        assert h > 1
+
+    def test_candidates_divide_file_pages(self):
+        mix = WorkloadMix(f_secondary_range_delete=1.0)
+        h = best_feasible_h(mix, 10**6, 4, 0.02, 3, file_pages=96)
+        assert 96 % h == 0
+
+    def test_crossover_moves_with_srd_weight(self):
+        base = dict(total_entries=10**6, page_entries=4, fpr=0.02, levels=3,
+                    file_pages=256)
+        light = best_feasible_h(
+            WorkloadMix(f_point_query=1.0, f_secondary_range_delete=1e-6), **base
+        )
+        heavy = best_feasible_h(
+            WorkloadMix(f_point_query=1.0, f_secondary_range_delete=1e-2), **base
+        )
+        assert light <= heavy
+
+
+class TestMetadataOverhead:
+    """§4.2.3's KiWi_mem − SoA_mem formula."""
+
+    def _overhead(self, **kw):
+        from repro.kiwi.tuning import kiwi_metadata_overhead_bytes
+
+        defaults = dict(
+            total_entries=2**20, page_entries=4, h=16,
+            sort_key_bytes=102, delete_key_bytes=8, delete_fence_bounds=1,
+        )
+        defaults.update(kw)
+        return kiwi_metadata_overhead_bytes(**defaults)
+
+    def test_matches_hand_computation(self):
+        # N/B = 262144 pages, tiles = 16384:
+        # kiwi = 16384·102 + 262144·8 ; classic = 262144·102
+        expected = (16384 * 102 + 262144 * 8) - 262144 * 102
+        assert self._overhead() == pytest.approx(expected)
+
+    def test_small_delete_key_saves_memory(self):
+        """Paper: sizeof(D) < sizeof(S) can make KiWi's metadata smaller."""
+        assert self._overhead() < 0
+
+    def test_large_delete_key_costs_memory(self):
+        assert self._overhead(delete_key_bytes=256) > 0
+
+    def test_equal_key_sizes_leave_one_key_per_tile(self):
+        """Paper: 'if sizeof(S) = sizeof(D) the overhead is only one sort
+        key per tile'."""
+        overhead = self._overhead(delete_key_bytes=102)
+        tiles = (2**20 / 4) / 16
+        assert overhead == pytest.approx(tiles * 102)
+
+    def test_both_bounds_variant_doubles_delete_fences(self):
+        single = self._overhead()
+        double = self._overhead(delete_fence_bounds=2)
+        pages = 2**20 / 4
+        assert double - single == pytest.approx(pages * 8)
+
+    def test_h1_with_min_only_fences_adds_only_delete_keys(self):
+        overhead = self._overhead(h=1)
+        pages = 2**20 / 4
+        assert overhead == pytest.approx(pages * 8)
+
+    def test_validation(self):
+        from repro.core.errors import TuningError
+        from repro.kiwi.tuning import kiwi_metadata_overhead_bytes
+
+        with pytest.raises(TuningError):
+            kiwi_metadata_overhead_bytes(0, 4, 16, 102, 8)
+        with pytest.raises(TuningError):
+            kiwi_metadata_overhead_bytes(100, 4, 16, 102, 8,
+                                         delete_fence_bounds=3)

@@ -1,0 +1,85 @@
+"""Unit tests for the WAL, including FADE's D_th enforcement routine."""
+
+import pytest
+
+from repro.core.errors import WALError
+from repro.lsm.wal import WriteAheadLog
+
+
+class TestAppend:
+    def test_appends_create_segments(self):
+        wal = WriteAheadLog(segment_capacity=2)
+        for seq in range(5):
+            wal.append(seq, key=seq, is_tombstone=False, now=float(seq))
+        assert len(wal.segments) == 3
+        assert wal.live_records == 5
+
+    def test_append_below_watermark_rejected(self):
+        wal = WriteAheadLog()
+        wal.append(0, key=1, is_tombstone=False, now=0.0)
+        wal.mark_flushed(0)
+        with pytest.raises(WALError):
+            wal.append(0, key=2, is_tombstone=False, now=1.0)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(WALError):
+            WriteAheadLog(segment_capacity=0)
+
+
+class TestFlushPurge:
+    def test_fully_flushed_segments_purged(self):
+        wal = WriteAheadLog(segment_capacity=2)
+        for seq in range(6):
+            wal.append(seq, key=seq, is_tombstone=False, now=0.0)
+        wal.mark_flushed(3)
+        # segments [0,1] and [2,3] are wholly flushed; [4,5] survives
+        assert wal.live_records == 2
+        assert wal.segments_purged == 2
+
+    def test_watermark_cannot_regress(self):
+        wal = WriteAheadLog()
+        wal.mark_flushed(10)
+        with pytest.raises(WALError):
+            wal.mark_flushed(5)
+
+
+class TestDthEnforcement:
+    """§4.1.5: no live WAL may retain records older than D_th."""
+
+    def test_over_age_segments_rewritten(self):
+        wal = WriteAheadLog(segment_capacity=4)
+        wal.append(0, key=1, is_tombstone=True, now=0.0)
+        wal.append(1, key=2, is_tombstone=False, now=0.5)
+        rewritten = wal.enforce_persistence_threshold(now=10.0, d_th=5.0)
+        assert rewritten == 1
+        # live records were copied forward; the old segment is gone
+        assert wal.live_records == 2
+        assert wal.oldest_segment_age(now=10.0) == 0.0
+
+    def test_flushed_tombstones_discarded_by_routine(self):
+        wal = WriteAheadLog(segment_capacity=4)
+        wal.append(0, key=1, is_tombstone=True, now=0.0)
+        wal.mark_flushed(0)  # tombstone persisted to the tree
+        # segment was purged by the flush already
+        assert wal.live_records == 0
+        wal.append(1, key=2, is_tombstone=True, now=1.0)
+        wal.enforce_persistence_threshold(now=20.0, d_th=5.0)
+        assert wal.oldest_tombstone_age(now=20.0) <= 5.0 + 19.0  # copied fwd
+
+    def test_young_segments_untouched(self):
+        wal = WriteAheadLog()
+        wal.append(0, key=1, is_tombstone=True, now=8.0)
+        assert wal.enforce_persistence_threshold(now=10.0, d_th=5.0) == 0
+        assert wal.live_records == 1
+
+    def test_invariant_no_segment_older_than_dth_after_enforcement(self):
+        wal = WriteAheadLog(segment_capacity=1)
+        for seq in range(10):
+            wal.append(seq, key=seq, is_tombstone=(seq % 2 == 0), now=seq * 1.0)
+        wal.enforce_persistence_threshold(now=20.0, d_th=3.0)
+        assert wal.oldest_segment_age(now=20.0) <= 3.0
+
+    def test_invalid_dth_rejected(self):
+        wal = WriteAheadLog()
+        with pytest.raises(WALError):
+            wal.enforce_persistence_threshold(now=1.0, d_th=0.0)

@@ -1,0 +1,49 @@
+"""Bench for shard scaling: 1 vs 2 vs 4 partitioned Lethe engines.
+
+Expected shape: splitting one skewed multi-tenant stream across more
+shards shrinks each tree (fewer levels, less merge work), so cluster
+write amplification falls monotonically while the scatter-gather
+secondary-delete bill stays in the same ballpark (the same pages must
+drop, whichever shard holds them). Every cluster size reports both
+aggregate and per-shard metrics through the shared harness.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE
+
+from benchmarks.conftest import emit
+
+
+def test_shard_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.shard_scaling(BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    shards = result.series["shards"]
+    assert shards == [1, 2, 4]
+
+    # Aggregate metrics exist for every cluster size.
+    for key in ("ingest_ops_per_s", "write_amplification", "srd_pages"):
+        assert len(result.series[key]) == len(shards)
+
+    # Smaller per-shard trees must not amplify writes more than one tree.
+    wamp = result.series["write_amplification"]
+    assert wamp[-1] <= wamp[0] * 1.10, (
+        f"4-shard write amplification {wamp[-1]:.3f} should not exceed "
+        f"single-tree {wamp[0]:.3f}"
+    )
+
+    # The scatter-gather purge actually touched pages on every run.
+    assert all(pages > 0 for pages in result.series["srd_pages"])
+
+    # Per-shard breakdown: each cluster reports one entry count per shard,
+    # and hash placement keeps the skewed stream roughly balanced.
+    for n in shards:
+        counts = result.series["entry_counts"][n]
+        assert len(counts) == n
+        assert all(count > 0 for count in counts)
+    largest = result.series["entry_counts"][shards[-1]]
+    assert max(largest) <= 3 * min(largest), f"hash imbalance: {largest}"

@@ -19,6 +19,15 @@ Workload generation (the paper's YCSB-A-with-deletes variant)::
 
     from repro import WorkloadGenerator, WorkloadSpec
 
+A partitioned cluster of engines behind the same API (routed writes,
+merged scans, scatter-gather secondary deletes)::
+
+    from repro import ShardedEngine, RangePartitioner
+
+    cluster = ShardedEngine(lethe_config(60.0, 8), n_shards=4)
+    cluster.put(42, "payload", delete_key=1718000000)
+    cluster.secondary_range_delete(0, 1718000000)
+
 Analytical cost models (Table 2) live in :mod:`repro.analysis`; the
 experiment drivers behind every figure live in :mod:`repro.bench`.
 """
@@ -51,8 +60,15 @@ from repro.kiwi.tuning import (
     kiwi_metadata_overhead_bytes,
     optimal_tile_granularity,
 )
+from repro.shard.engine import ShardedEngine
+from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.storage.entry import Entry, EntryKind, RangeTombstone
 from repro.workloads.generator import WorkloadGenerator
+from repro.workloads.multi_tenant import (
+    MultiTenantSpec,
+    MultiTenantWorkload,
+    TenantSpec,
+)
 from repro.workloads.spec import DeleteKeyMode, WorkloadSpec
 
 __version__ = "1.0.0"
@@ -67,15 +83,22 @@ __all__ = [
     "Entry",
     "EntryKind",
     "FileSelectionMode",
+    "HashPartitioner",
     "KeyWeavingError",
     "LSMEngine",
     "LetheError",
     "MergePolicy",
+    "MultiTenantSpec",
+    "MultiTenantWorkload",
     "PageFullError",
+    "Partitioner",
+    "RangePartitioner",
     "RangeTombstone",
+    "ShardedEngine",
     "SimulatedClock",
     "Statistics",
     "StorageError",
+    "TenantSpec",
     "TuningError",
     "WALError",
     "WorkloadGenerator",

@@ -39,6 +39,7 @@ _STANDALONE = {
     "fig6l": lambda scale: ex.fig6l_correlation(scale),
     "fig1": lambda scale: ex.fig1_summary(scale),
     "table2": lambda scale: ex.table2_cost_model(),
+    "shard": lambda scale: ex.shard_scaling(scale),
 }
 
 
@@ -73,7 +74,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig6a..fig6l, fig1, table2), 'all', or 'list'",
+        help="experiment id (fig6a..fig6l, fig1, table2, shard), "
+        "'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",

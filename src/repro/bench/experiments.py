@@ -11,6 +11,7 @@ crossovers) matches the paper.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 
 from repro.analysis.cost_model import ModelParams, Policy
@@ -27,7 +28,10 @@ from repro.bench.harness import (
     workload_for,
 )
 from repro.bench.reporting import format_series, format_table, ratio_summary
-from repro.core.config import FileSelectionMode
+from repro.core.config import FileSelectionMode, lethe_config
+from repro.shard.engine import ShardedEngine
+from repro.shard.partitioner import HashPartitioner, RangePartitioner
+from repro.workloads.multi_tenant import MultiTenantSpec, MultiTenantWorkload
 from repro.workloads.spec import DeleteKeyMode
 
 # The paper sets D_th to 16.67% / 25% / 50% of the experiment run-time —
@@ -771,4 +775,165 @@ def fig1_summary(
             "d_th": d_th,
         },
         report="\n".join(lines),
+    )
+
+
+# ======================================================================
+# Shard scaling: 1 vs N partitioned engines on one skewed stream
+# ======================================================================
+
+
+def shard_scaling(
+    scale: ExperimentScale = BENCH_SCALE,
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    n_tenants: int = 8,
+    skew: float = 2.0,
+    purge_fraction: float = 0.25,
+) -> ExperimentResult:
+    """Partitioned Lethe: ingest throughput and scatter-gather SRD cost.
+
+    One skewed multi-tenant stream (geometric tenant popularity) replays
+    against hash-partitioned clusters of 1, 2, and 4 KiWi shards, then a
+    time-window purge (``secondary_range_delete`` over the oldest
+    ``purge_fraction`` of timestamps) scatter-gathers across every shard.
+    Reported per cluster: wall-clock ingest throughput, cluster write/space
+    amplification, the purge's page bill, and the shard balance; plus a
+    per-shard breakdown of the largest cluster under hash *and*
+    quantile-cut range partitioning (what :meth:`ShardedEngine.rebalance`
+    would produce for this stream).
+    """
+    spec = MultiTenantSpec.skewed(
+        n_tenants=n_tenants,
+        skew=skew,
+        num_inserts=scale.num_inserts,
+        num_point_lookups=scale.num_point_lookups,
+        seed=scale.seed,
+    )
+    workload = MultiTenantWorkload(spec)
+    ingest_ops = list(workload.ingest_operations())
+    query_ops = list(workload.query_operations())
+    purge_lo, purge_hi = workload.retention_window(purge_fraction)
+    config = lethe_config(
+        1e9,  # D_th far away: this experiment isolates layout + sharding
+        delete_tile_pages=4,
+        force_kiwi_layout=True,
+        **scale.engine_overrides(),
+    )
+
+    def run_cluster(cluster: ShardedEngine) -> dict:
+        started = time.perf_counter()
+        cluster.ingest(ingest_ops)
+        cluster.flush()
+        ingest_wall = time.perf_counter() - started
+        purge_report = cluster.secondary_range_delete(purge_lo, purge_hi)
+        for shard in cluster.shards:
+            shard.stats.reset_read_counters()
+        cluster.ingest(query_ops)
+        stats = cluster.stats
+        return {
+            "ingest_ops_per_s": len(ingest_ops) / ingest_wall,
+            "write_amplification": cluster.write_amplification(),
+            "space_amplification": cluster.space_amplification(),
+            "srd_pages": purge_report.pages_read + purge_report.pages_written,
+            "srd_full_drops": purge_report.full_page_drops,
+            "avg_lookup_ios": stats.average_lookup_ios(),
+            "entry_counts": cluster.shard_entry_counts(),
+            "cluster": cluster,
+        }
+
+    results = {
+        n: run_cluster(ShardedEngine(config, partitioner=HashPartitioner(n)))
+        for n in shard_counts
+    }
+    largest = max(shard_counts)
+    range_cluster = ShardedEngine(
+        config,
+        partitioner=RangePartitioner.from_keys(
+            [op[1] for op in ingest_ops if op[0] == "put"], largest
+        ),
+    )
+    range_result = run_cluster(range_cluster)
+
+    rows = [
+        [
+            n,
+            _round(res["ingest_ops_per_s"]),
+            _round(res["write_amplification"]),
+            _round(res["space_amplification"]),
+            res["srd_pages"],
+            res["srd_full_drops"],
+            _round(res["avg_lookup_ios"]),
+            f"{min(res['entry_counts'])}..{max(res['entry_counts'])}",
+        ]
+        for n, res in results.items()
+    ]
+    rows.append(
+        [
+            f"{largest}R",
+            _round(range_result["ingest_ops_per_s"]),
+            _round(range_result["write_amplification"]),
+            _round(range_result["space_amplification"]),
+            range_result["srd_pages"],
+            range_result["srd_full_drops"],
+            _round(range_result["avg_lookup_ios"]),
+            f"{min(range_result['entry_counts'])}.."
+            f"{max(range_result['entry_counts'])}",
+        ]
+    )
+    aggregate = format_table(
+        ["shards", "ingest ops/s", "wamp", "samp", "SRD pages", "full drops",
+         "lookup I/Os", "entries/shard"],
+        rows,
+        title=(
+            f"Shard scaling ({n_tenants} tenants, skew {skew}; "
+            f"purge = oldest {purge_fraction:.0%} of timestamps; "
+            f"{largest}R = range-partitioned)"
+        ),
+    )
+    per_shard_rows = []
+    for label, res in (("hash", results[largest]), ("range", range_result)):
+        for index, (shard, stats) in enumerate(
+            zip(res["cluster"].shards, res["cluster"].shard_stats())
+        ):
+            per_shard_rows.append(
+                [
+                    f"{label}/{index}",
+                    res["entry_counts"][index],
+                    stats.compactions,
+                    stats.pages_written,
+                    stats.srd_pages_read + stats.srd_pages_written,
+                ]
+            )
+    breakdown = format_table(
+        ["shard", "entries", "compactions", "pages written", "SRD pages"],
+        per_shard_rows,
+        title=f"Per-shard breakdown at {largest} shards (hash vs range)",
+    )
+    return ExperimentResult(
+        figure="ShardScaling",
+        series={
+            "shards": list(shard_counts),
+            "ingest_ops_per_s": [
+                results[n]["ingest_ops_per_s"] for n in shard_counts
+            ],
+            "write_amplification": [
+                results[n]["write_amplification"] for n in shard_counts
+            ],
+            "space_amplification": [
+                results[n]["space_amplification"] for n in shard_counts
+            ],
+            "srd_pages": [results[n]["srd_pages"] for n in shard_counts],
+            "srd_full_drops": [
+                results[n]["srd_full_drops"] for n in shard_counts
+            ],
+            "avg_lookup_ios": [
+                results[n]["avg_lookup_ios"] for n in shard_counts
+            ],
+            "entry_counts": {
+                n: results[n]["entry_counts"] for n in shard_counts
+            },
+            "range_entry_counts": range_result["entry_counts"],
+            "range_srd_pages": range_result["srd_pages"],
+        },
+        report=aggregate + "\n\n" + breakdown,
     )

@@ -470,14 +470,23 @@ class LSMEngine:
             step = min(check_interval, remaining)
             remaining -= step
             self.clock.advance(step)
-            if self.config.fade_enabled and isinstance(self.policy, FADEPolicy):
-                oldest = self.buffer.oldest_tombstone_time()
-                if oldest is not None:
-                    height = max(1, self.tree.deepest_nonempty_level())
-                    d0 = self.policy.level_ttls(height)[0]
-                    if self.clock.now - oldest > d0:
-                        self.flush()
-            self.run_pending_compactions()
+            self.idle_check()
+
+    def idle_check(self) -> None:
+        """One TTL-expiry/compaction check at the current simulated time.
+
+        Factored out of :meth:`advance_time` so a sharded cluster sharing
+        one clock can advance it once and then run every member engine's
+        check at the same instant.
+        """
+        if self.config.fade_enabled and isinstance(self.policy, FADEPolicy):
+            oldest = self.buffer.oldest_tombstone_time()
+            if oldest is not None:
+                height = max(1, self.tree.deepest_nonempty_level())
+                d0 = self.policy.level_ttls(height)[0]
+                if self.clock.now - oldest > d0:
+                    self.flush()
+        self.run_pending_compactions()
 
     def force_full_compaction(self) -> None:
         """The state of the art's forced persistence (full-tree compaction)."""
@@ -501,9 +510,11 @@ class LSMEngine:
 
         Each operation is a tuple whose first element is one of
         ``"put"``, ``"delete"``, ``"range_delete"``,
-        ``"secondary_range_delete"``, ``"get"``, ``"scan"``; remaining
-        elements are the operation's arguments. Produced by
-        :mod:`repro.workloads.generator`.
+        ``"secondary_range_delete"``, ``"get"``, ``"scan"``,
+        ``"secondary_range_lookup"``, ``"flush"``, ``"advance_time"``;
+        remaining elements are the operation's arguments. Produced by
+        :mod:`repro.workloads.generator` and the sharded engine's router,
+        which uses the same vocabulary to split streams across shards.
         """
         dispatch = {
             "put": self.put,
@@ -512,11 +523,17 @@ class LSMEngine:
             "secondary_range_delete": self.secondary_range_delete,
             "get": self.get,
             "scan": self.scan,
+            "secondary_range_lookup": self.secondary_range_lookup,
+            "flush": self.flush,
+            "advance_time": self.advance_time,
         }
         for operation in operations:
             handler = dispatch.get(operation[0])
             if handler is None:
-                raise LetheError(f"unknown operation {operation[0]!r}")
+                raise LetheError(
+                    f"unknown operation {operation[0]!r}; expected one of "
+                    f"{sorted(dispatch)}"
+                )
             handler(*operation[1:])
 
     # ------------------------------------------------------------------
@@ -563,6 +580,15 @@ class LSMEngine:
             f"{self.tree.describe()}\n"
             f"buffer: {len(self.buffer)}/{self.buffer.capacity_entries} entries"
         )
+
+    @property
+    def key_bounds(self) -> tuple[Any, Any] | None:
+        """Inclusive (min, max) sort-key bounds ever written, or ``None``.
+
+        Shard migration (split/rebalance) scans this range to extract the
+        live contents of an engine.
+        """
+        return self._key_bounds
 
     # ------------------------------------------------------------------
     # Internals

@@ -18,7 +18,8 @@ bench reads its series from one place.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+from typing import Iterable
 
 
 @dataclass
@@ -108,6 +109,35 @@ class Statistics:
         record = PersistenceRecord(key=key, inserted_at=now)
         self.persistence_records.append(record)
         return record
+
+    # ------------------------------------------------------------------
+    # Aggregation (cluster-wide metrics over sharded engines)
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Statistics") -> "Statistics":
+        """Fold ``other``'s counters into this registry, in place.
+
+        Every scalar counter adds up; persistence records concatenate (the
+        record objects stay shared with ``other``, so latencies recorded
+        later by the owning engine are visible through the merged view).
+        Returns ``self`` for chaining.
+        """
+        for spec in fields(self):
+            if spec.name == "persistence_records":
+                continue
+            setattr(
+                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+            )
+        self.persistence_records.extend(other.persistence_records)
+        return self
+
+    @classmethod
+    def combined(cls, parts: Iterable["Statistics"]) -> "Statistics":
+        """A fresh registry holding the sum of ``parts`` (none is mutated)."""
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     # ------------------------------------------------------------------
     # Derived metrics (the formulas of §3.2)

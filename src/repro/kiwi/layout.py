@@ -102,6 +102,8 @@ class KiWiFile(RunFile):
         """Sort-key range scan across overlapping tiles (§4.2.5)."""
         result: list[Entry] = []
         for index in self._fences.locate_range(lo, hi):
+            if index >= len(self._tiles):
+                break
             tile = self._tiles[index]
             if tile.is_empty or tile.max_key < lo or tile.min_key > hi:
                 continue
@@ -156,9 +158,11 @@ class KiWiFile(RunFile):
                 d_lo, d_hi, self._disk, self._stats
             )
             dropped_total += dropped
+        # Rebuild fences even when every tile emptied: a file kept alive
+        # only by its range tombstones must not retain stale tile fences
+        # (scan would index tiles that no longer exist).
         self._tiles = [t for t in self._tiles if not t.is_empty]
-        if self._tiles:
-            self._fences = FencePointers([t.min_key for t in self._tiles])
+        self._fences = FencePointers([t.min_key for t in self._tiles])
         after_pages = self.num_pages
         after_bytes = self.size_bytes
         dropped_pages = before_pages - after_pages

@@ -1,0 +1,358 @@
+"""The sharded engine: N Lethe engines behind one keyspace-partitioned API.
+
+:class:`ShardedEngine` exposes the complete :class:`~repro.core.engine.
+LSMEngine` surface — ``put``/``delete``/``range_delete``/
+``secondary_range_delete``/``get``/``scan``/``secondary_range_lookup``/
+``flush``/``advance_time``/``ingest`` — over a cluster of member engines:
+
+* **point operations** route to the single owning shard;
+* **sort-key range operations** fan out to the overlapping shards only
+  (all shards under hash partitioning) and k-way-merge the results;
+* **secondary (delete-key) operations** are scatter-gather: the secondary
+  key is not the partition key, so every shard participates and the
+  per-shard :class:`SecondaryDeleteReport`s sum into the cluster bill —
+  exactly the cost the paper's model predicts per tree, times the fan-out.
+
+All members share one :class:`~repro.core.clock.SimulatedClock`, so FADE
+TTLs and persistence latencies stay on a single cluster-wide timeline;
+per-shard *configs* may still differ (per-tenant ``D_th`` or KiWi ``h``).
+Range-partitioned clusters additionally support :meth:`split` (divide a
+hot shard at a key) and :meth:`rebalance` (recut all split points at the
+observed key quantiles).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.core.clock import SimulatedClock
+from repro.core.config import EngineConfig
+from repro.core.engine import LSMEngine
+from repro.core.errors import ConfigError, LetheError
+from repro.core.stats import Statistics
+from repro.kiwi.range_delete import SecondaryDeleteReport
+from repro.shard.merge import combine_reports, kway_merge
+from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
+from repro.shard.router import Barrier, OperationRouter, ShardBatch
+from repro.storage.entry import Entry
+
+
+class ShardedEngine:
+    """A partitioned cluster of LSM engines with a single-engine API.
+
+    Parameters
+    ----------
+    config:
+        Configuration applied to every shard (unless ``shard_configs``
+        overrides it per shard).
+    n_shards:
+        Convenience: build a :class:`HashPartitioner` of this size.
+        Mutually exclusive with ``partitioner``.
+    partitioner:
+        Explicit placement policy (hash or range).
+    shard_configs:
+        Optional per-shard configs (length must equal the shard count) —
+        the tunability axis: each partition may run its own FADE
+        ``D_th``/KiWi ``h``.
+    clock:
+        Optional externally-owned clock shared with other engines under
+        comparison.
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig,
+        n_shards: int | None = None,
+        partitioner: Partitioner | None = None,
+        shard_configs: Sequence[EngineConfig] | None = None,
+        clock: SimulatedClock | None = None,
+        max_batch: int = 1024,
+    ):
+        if (n_shards is None) == (partitioner is None):
+            raise ConfigError("pass exactly one of n_shards / partitioner")
+        if partitioner is None:
+            partitioner = HashPartitioner(n_shards)
+        self.partitioner = partitioner
+        self.config = config
+        self.clock = clock or SimulatedClock(config.ingestion_rate)
+        if shard_configs is None:
+            configs = [config] * partitioner.n_shards
+        else:
+            configs = list(shard_configs)
+            if len(configs) != partitioner.n_shards:
+                raise ConfigError(
+                    f"shard_configs has {len(configs)} entries for "
+                    f"{partitioner.n_shards} shards"
+                )
+        self.shards: list[LSMEngine] = [
+            LSMEngine(shard_config, clock=self.clock) for shard_config in configs
+        ]
+        self.router = OperationRouter(partitioner, max_batch=max_batch)
+        # Counters of shards retired by split/rebalance, so cluster totals
+        # never go backwards when members are replaced.
+        self._retired_stats = Statistics()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return self.partitioner.n_shards
+
+    def shard_for(self, key: Any) -> LSMEngine:
+        """The member engine owning ``key`` (for inspection/debugging)."""
+        return self.shards[self.partitioner.shard_for(key)]
+
+    # ------------------------------------------------------------------
+    # Write path (routed)
+    # ------------------------------------------------------------------
+
+    def put(self, key: Any, value: Any = None, delete_key: Any = None) -> None:
+        self.shard_for(key).put(key, value, delete_key=delete_key)
+
+    def delete(self, key: Any) -> bool:
+        return self.shard_for(key).delete(key)
+
+    def range_delete(self, start: Any, end: Any) -> None:
+        """Sort-key range delete ``[start, end)`` on every overlapping shard."""
+        for index in self.partitioner.shards_for_range(start, end):
+            self.shards[index].range_delete(start, end)
+
+    def secondary_range_delete(self, d_lo: Any, d_hi: Any) -> SecondaryDeleteReport:
+        """Scatter-gather delete on the secondary key: all shards, summed bill."""
+        return combine_reports(
+            shard.secondary_range_delete(d_lo, d_hi) for shard in self.shards
+        )
+
+    # ------------------------------------------------------------------
+    # Read path (routed + merged)
+    # ------------------------------------------------------------------
+
+    def get(self, key: Any) -> Any:
+        return self.shard_for(key).get(key)
+
+    def scan(self, lo: Any, hi: Any) -> list[tuple[Any, Any]]:
+        """Merged range lookup: k-way merge of the overlapping shards' scans."""
+        indexes = self.partitioner.shards_for_range(lo, hi)
+        if len(indexes) == 1:
+            return self.shards[indexes[0]].scan(lo, hi)
+        return kway_merge([self.shards[i].scan(lo, hi) for i in indexes])
+
+    def secondary_range_lookup(self, d_lo: Any, d_hi: Any) -> list[tuple[Any, Any]]:
+        """Scatter-gather lookup on the delete key, merged in sort-key order."""
+        return kway_merge(
+            [shard.secondary_range_lookup(d_lo, d_hi) for shard in self.shards]
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance (broadcast)
+    # ------------------------------------------------------------------
+
+    def flush(self) -> None:
+        for shard in self.shards:
+            shard.flush()
+
+    def advance_time(self, seconds: float, check_interval: float | None = None) -> None:
+        """Simulate idle time once, cluster-wide.
+
+        The shared clock advances a single step at a time and every shard
+        runs its TTL/compaction check at the same instant — advancing each
+        member independently would multiply idle time by the shard count.
+        """
+        if check_interval is None:
+            check_interval = min(
+                shard.config.buffer_entries / shard.config.ingestion_rate
+                for shard in self.shards
+            )
+        remaining = float(seconds)
+        while remaining > 0:
+            step = min(check_interval, remaining)
+            remaining -= step
+            self.clock.advance(step)
+            for shard in self.shards:
+                shard.idle_check()
+
+    def force_full_compaction(self) -> None:
+        for shard in self.shards:
+            shard.force_full_compaction()
+
+    # ------------------------------------------------------------------
+    # Batched ingest
+    # ------------------------------------------------------------------
+
+    def ingest(self, operations: Iterable[tuple]) -> None:
+        """Apply a workload stream, grouped per shard before dispatch.
+
+        Point operations accumulate into per-shard batches (one
+        :meth:`LSMEngine.ingest` call per batch); any multi-shard
+        operation acts as a barrier that drains the batches first, so
+        scatter-gather deletes and cross-shard scans observe every
+        earlier write. Per-key operation order is always preserved.
+        """
+        barrier_dispatch = {
+            "range_delete": self.range_delete,
+            "scan": self.scan,
+            "secondary_range_delete": self.secondary_range_delete,
+            "secondary_range_lookup": self.secondary_range_lookup,
+            "flush": self.flush,
+            "advance_time": self.advance_time,
+        }
+        for item in self.router.batches(operations):
+            if isinstance(item, ShardBatch):
+                self.shards[item.shard].ingest(item.operations)
+            elif isinstance(item, Barrier):
+                name = item.operation[0]
+                handler = barrier_dispatch.get(name)
+                if handler is None:  # pragma: no cover - router rejects first
+                    raise LetheError(f"unroutable barrier operation {name!r}")
+                handler(*item.operation[1:])
+
+    # ------------------------------------------------------------------
+    # Resharding (range partitioning only)
+    # ------------------------------------------------------------------
+
+    def split(self, shard_index: int, split_key: Any) -> tuple[int, int]:
+        """Divide shard ``shard_index`` at ``split_key`` into two shards.
+
+        The retiring engine's live contents (newest version per key, via a
+        full scan) migrate into two fresh engines; its counters fold into
+        the cluster's retired-stats bucket so aggregate metrics stay
+        monotone. Migration re-ingests entries through the normal write
+        path — ticking the shared clock and paying flush I/O, as a real
+        shard split pays its copy cost. Returns the two new shard indexes.
+        """
+        partitioner = self._require_range_partitioner("split")
+        low, high = partitioner.shard_bounds(shard_index)
+        if (low is not None and not low < split_key) or (
+            high is not None and not split_key < high
+        ):
+            raise ConfigError(
+                f"split key {split_key!r} outside shard {shard_index} "
+                f"bounds [{low!r}, {high!r})"
+            )
+        retiring = self.shards[shard_index]
+        survivors = _live_entries(retiring)
+        self._retired_stats.merge(retiring.stats)
+
+        left = LSMEngine(retiring.config, clock=self.clock)
+        right = LSMEngine(retiring.config, clock=self.clock)
+        self.partitioner = partitioner.with_split(split_key)
+        self.router = OperationRouter(self.partitioner, max_batch=self.router.max_batch)
+        self.shards[shard_index : shard_index + 1] = [left, right]
+        for entry in survivors:
+            target = left if entry.key < split_key else right
+            target.put(entry.key, entry.value, delete_key=entry.delete_key)
+        return shard_index, shard_index + 1
+
+    def rebalance(self) -> list[Any]:
+        """Recut every split point at the observed live-key quantiles.
+
+        Collects all live entries, chooses balanced split points, rebuilds
+        every member engine, and re-ingests — the heavyweight cluster-wide
+        analogue of :meth:`split`. Returns the new split points.
+        """
+        self._require_range_partitioner("rebalance")
+        survivors: list[Entry] = []
+        for shard in self.shards:
+            survivors.extend(_live_entries(shard))
+        if len(set(e.key for e in survivors)) < self.n_shards:
+            # Validate before retiring anything: the shards stay live on
+            # this path, so folding their counters into the retired bucket
+            # would double-count every cluster metric from here on.
+            raise LetheError(
+                f"cannot rebalance {self.n_shards} shards over "
+                f"{len(survivors)} live keys"
+            )
+        for shard in self.shards:
+            self._retired_stats.merge(shard.stats)
+        configs = [shard.config for shard in self.shards]
+        self.partitioner = RangePartitioner.from_keys(
+            [entry.key for entry in survivors], self.n_shards
+        )
+        self.router = OperationRouter(self.partitioner, max_batch=self.router.max_batch)
+        self.shards = [
+            LSMEngine(shard_config, clock=self.clock) for shard_config in configs
+        ]
+        for entry in survivors:
+            self.shard_for(entry.key).put(
+                entry.key, entry.value, delete_key=entry.delete_key
+            )
+        return list(self.partitioner.split_points)
+
+    def _require_range_partitioner(self, operation: str) -> RangePartitioner:
+        if not isinstance(self.partitioner, RangePartitioner):
+            raise ConfigError(
+                f"{operation}() requires a RangePartitioner, cluster uses "
+                f"{self.partitioner.describe()}"
+            )
+        return self.partitioner
+
+    # ------------------------------------------------------------------
+    # Cluster metrics
+    # ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> Statistics:
+        """Cluster-wide counters: live shards plus retired ones."""
+        return Statistics.combined(
+            [self._retired_stats] + [shard.stats for shard in self.shards]
+        )
+
+    def shard_stats(self) -> list[Statistics]:
+        """Per-shard counter registries (live members only)."""
+        return [shard.stats for shard in self.shards]
+
+    def space_amplification(self) -> float:
+        """Cluster ``samp``: summed over shards, not averaged — a bloated
+        shard cannot hide behind an empty one (§3.2.1 applied to ΣN, ΣU)."""
+        total = 0
+        unique = 0
+        for shard in self.shards:
+            shard_total, shard_unique = shard.tree.live_unique_bytes(
+                buffer_entries=list(shard.buffer),
+                buffer_range_tombstones=list(shard.buffer.range_tombstones),
+            )
+            total += shard_total
+            unique += shard_unique
+        if unique == 0:
+            return 0.0
+        return (total - unique) / unique
+
+    def write_amplification(self) -> float:
+        combined = self.stats
+        return combined.write_amplification(combined.bytes_flushed)
+
+    def tombstones_on_disk(self) -> int:
+        return sum(shard.tombstones_on_disk() for shard in self.shards)
+
+    def shard_entry_counts(self) -> list[int]:
+        """Physical entries per shard (tree + buffer) — the balance view."""
+        return [
+            shard.tree.total_entries + len(shard.buffer) for shard in self.shards
+        ]
+
+    def describe(self) -> str:
+        lines = [
+            f"ShardedEngine({self.partitioner.describe()}, "
+            f"entries/shard={self.shard_entry_counts()})"
+        ]
+        for index, shard in enumerate(self.shards):
+            lines.append(f"shard {index}: " + shard.describe().replace("\n", "\n  "))
+        return "\n".join(lines)
+
+
+def _live_entries(engine: LSMEngine) -> list[Entry]:
+    """Newest live version of every key in ``engine``, by full scan.
+
+    Flushes first so the tree alone holds the truth; reads are not
+    charged to the retiring engine (its accounting is frozen into the
+    retired bucket) — the migration cost shows up as the new engines'
+    flush/compaction work.
+    """
+    engine.flush()
+    bounds = engine.key_bounds
+    if bounds is None:
+        return []
+    low, high = bounds
+    return engine.tree.scan(low, high, charge_io=False)

@@ -1,0 +1,59 @@
+"""Result merging for scatter-gather reads and deletes.
+
+Per-shard results arrive already sorted (every shard's scan and secondary
+lookup emit key-ascending lists); the cluster-level answer is a k-way
+merge. The partitioner guarantees each key lives on exactly one shard, so
+deduplication never fires in a healthy cluster — it exists as a safety
+net (and an assertion point) for routing bugs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import fields
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.kiwi.range_delete import SecondaryDeleteReport
+
+
+def kway_merge(
+    per_shard: Sequence[Sequence[Any]],
+    key: Callable[[Any], Any] = lambda item: item[0],
+) -> list[Any]:
+    """Merge per-shard sorted result lists into one key-sorted list.
+
+    Deduplicates on ``key``: when two shards return the same key (a
+    routing-invariant violation), the lower shard index wins and the
+    duplicate is dropped, keeping the merged answer a function even under
+    a misroute. Ties between shards order by shard index, so the merge is
+    deterministic.
+    """
+    merged: list[Any] = []
+    last_key: Any = None
+    for item in heapq.merge(
+        *(
+            ((key(item), shard, item) for item in results)
+            for shard, results in enumerate(per_shard)
+        )
+    ):
+        item_key, _, payload = item
+        if merged and item_key == last_key:
+            continue
+        merged.append(payload)
+        last_key = item_key
+    return merged
+
+
+def combine_reports(
+    reports: Iterable[SecondaryDeleteReport],
+) -> SecondaryDeleteReport:
+    """Element-wise sum of per-shard secondary-delete reports."""
+    total = SecondaryDeleteReport()
+    for report in reports:
+        for spec in fields(SecondaryDeleteReport):
+            setattr(
+                total,
+                spec.name,
+                getattr(total, spec.name) + getattr(report, spec.name),
+            )
+    return total

@@ -1,0 +1,271 @@
+"""Multi-tenant skewed workload: many key ranges, very unequal traffic.
+
+A production cluster rarely sees the uniform single-tenant stream of §5:
+it serves many tenants, each owning a contiguous slice of the keyspace,
+with traffic following a heavy-tailed popularity distribution. This
+module generates exactly that — the workload that stresses *hot shards*:
+
+* under a :class:`~repro.shard.partitioner.RangePartitioner` cut at
+  tenant boundaries (:meth:`MultiTenantSpec.split_points`), hot tenants
+  concentrate on few shards (the case for :meth:`ShardedEngine.split`);
+* under a :class:`~repro.shard.partitioner.HashPartitioner` the same
+  stream spreads evenly — the trade-off the shard-scaling bench measures.
+
+Delete keys are global insertion timestamps (the paper's DComp scenario),
+so one ``secondary_range_delete`` of a time window is a scatter-gather
+purge touching every tenant and every shard at once.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """One tenant: a key slice plus its traffic profile.
+
+    Attributes
+    ----------
+    name:
+        Identifier used in reports.
+    key_range:
+        Half-open ``[lo, hi)`` slice of the sort-key domain this tenant
+        owns; tenants must not overlap.
+    weight:
+        Relative share of the operation stream (need not normalize).
+    update_fraction:
+        Updates to this tenant's existing keys, as a fraction of its
+        write operations.
+    delete_fraction:
+        Point deletes of this tenant's live keys, as a fraction of its
+        inserts.
+    """
+
+    name: str
+    key_range: tuple[int, int]
+    weight: float = 1.0
+    update_fraction: float = 0.5
+    delete_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        lo, hi = self.key_range
+        if lo >= hi:
+            raise ConfigError(f"tenant {self.name}: empty key range {self.key_range}")
+        if self.weight <= 0:
+            raise ConfigError(f"tenant {self.name}: weight must be > 0")
+        if not (0.0 <= self.update_fraction < 1.0):
+            raise ConfigError(f"tenant {self.name}: update_fraction in [0, 1)")
+        if not (0.0 <= self.delete_fraction <= 1.0):
+            raise ConfigError(f"tenant {self.name}: delete_fraction in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MultiTenantSpec:
+    """A whole cluster's workload: tenants plus global sizes.
+
+    ``num_inserts`` is the total fresh-key volume across tenants, divided
+    by weight; lookups likewise. Deterministic given ``seed``.
+    """
+
+    tenants: tuple[TenantSpec, ...]
+    num_inserts: int = 10_000
+    num_point_lookups: int = 0
+    num_range_lookups: int = 0
+    range_lookup_selectivity: float = 0.05
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if not self.tenants:
+            raise ConfigError("need at least one tenant")
+        if self.num_inserts < len(self.tenants):
+            raise ConfigError(
+                f"num_inserts={self.num_inserts} cannot cover "
+                f"{len(self.tenants)} tenants"
+            )
+        ordered = sorted(self.tenants, key=lambda t: t.key_range)
+        for left, right in zip(ordered, ordered[1:]):
+            if left.key_range[1] > right.key_range[0]:
+                raise ConfigError(
+                    f"tenants {left.name} and {right.name} overlap: "
+                    f"{left.key_range} vs {right.key_range}"
+                )
+
+    @classmethod
+    def skewed(
+        cls,
+        n_tenants: int = 8,
+        keys_per_tenant: int = 1 << 20,
+        skew: float = 2.0,
+        **kwargs,
+    ) -> "MultiTenantSpec":
+        """Tenants with geometrically decaying weights (tenant 0 hottest).
+
+        ``skew`` is the weight ratio between consecutive tenants; 1.0
+        degenerates to uniform traffic.
+        """
+        if n_tenants < 1:
+            raise ConfigError(f"n_tenants must be >= 1, got {n_tenants}")
+        if skew < 1.0:
+            raise ConfigError(f"skew must be >= 1.0, got {skew}")
+        tenants = tuple(
+            TenantSpec(
+                name=f"tenant-{index}",
+                key_range=(index * keys_per_tenant, (index + 1) * keys_per_tenant),
+                weight=skew ** (n_tenants - 1 - index),
+            )
+            for index in range(n_tenants)
+        )
+        return cls(tenants=tenants, **kwargs)
+
+    def split_points(self) -> list[int]:
+        """Tenant boundaries, usable directly as range-partitioner cuts."""
+        ordered = sorted(self.tenants, key=lambda t: t.key_range)
+        return [tenant.key_range[0] for tenant in ordered[1:]]
+
+    def hottest(self) -> TenantSpec:
+        return max(self.tenants, key=lambda t: t.weight)
+
+
+class MultiTenantWorkload:
+    """Deterministic operation-stream factory for one :class:`MultiTenantSpec`.
+
+    Emits the same tuple vocabulary as
+    :class:`~repro.workloads.generator.WorkloadGenerator`, so streams feed
+    ``LSMEngine.ingest`` and ``ShardedEngine.ingest`` interchangeably.
+    Iterating :meth:`ingest_operations` populates per-tenant key state the
+    query phase then samples.
+    """
+
+    def __init__(self, spec: MultiTenantSpec):
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        self._timestamp = 0
+        self._tenant_indexes = list(range(len(spec.tenants)))
+        self._weights = [tenant.weight for tenant in spec.tenants]
+        self.inserted: list[list[int]] = [[] for _ in spec.tenants]
+        self._inserted_sets: list[set[int]] = [set() for _ in spec.tenants]
+        self._live: list[set[int]] = [set() for _ in spec.tenants]
+
+    # ------------------------------------------------------------------
+    # Ingest phase
+    # ------------------------------------------------------------------
+
+    def ingest_operations(self) -> Iterator[tuple]:
+        """Inserts, updates, and deletes interleaved across tenants."""
+        spec = self.spec
+        update_credit = [0.0] * len(spec.tenants)
+        delete_credit = [0.0] * len(spec.tenants)
+        for _ in range(spec.num_inserts):
+            index = self._pick_tenant()
+            tenant = spec.tenants[index]
+            key = self._fresh_key(index)
+            self.inserted[index].append(key)
+            self._inserted_sets[index].add(key)
+            self._live[index].add(key)
+            yield ("put", key, self._value_for(key), self._next_timestamp())
+
+            update_credit[index] += (
+                tenant.update_fraction / (1.0 - tenant.update_fraction)
+                if tenant.update_fraction
+                else 0.0
+            )
+            while update_credit[index] >= 1.0:
+                update_credit[index] -= 1.0
+                victim = self._pick_inserted(index)
+                if victim in self._live[index]:
+                    yield (
+                        "put",
+                        victim,
+                        self._value_for(victim),
+                        self._next_timestamp(),
+                    )
+
+            delete_credit[index] += tenant.delete_fraction
+            if delete_credit[index] >= 1.0 and self._live[index]:
+                delete_credit[index] -= 1.0
+                victim = self._pick_live(index)
+                if victim is not None:
+                    self._live[index].discard(victim)
+                    yield ("delete", victim)
+
+    # ------------------------------------------------------------------
+    # Query phase
+    # ------------------------------------------------------------------
+
+    def query_operations(self) -> Iterator[tuple]:
+        """Point lookups (tenant-weighted) plus in-tenant range scans."""
+        spec = self.spec
+        for _ in range(spec.num_point_lookups):
+            index = self._pick_tenant()
+            if not self.inserted[index]:
+                continue
+            key = self.inserted[index][
+                self._rng.randrange(len(self.inserted[index]))
+            ]
+            yield ("get", key)
+        for _ in range(spec.num_range_lookups):
+            index = self._pick_tenant()
+            lo, hi = spec.tenants[index].key_range
+            width = max(1, int((hi - lo) * spec.range_lookup_selectivity))
+            start = self._rng.randint(lo, max(lo, hi - width))
+            yield ("scan", start, start + width)
+
+    def all_operations(self) -> Iterator[tuple]:
+        yield from self.ingest_operations()
+        yield from self.query_operations()
+
+    # ------------------------------------------------------------------
+    # Time-window purges (the scatter-gather case)
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_timestamp(self) -> int:
+        """Largest delete key issued so far (timestamps are global)."""
+        return self._timestamp
+
+    def retention_window(self, fraction: float) -> tuple[int, int]:
+        """The oldest ``fraction`` of all timestamps, as an SRD interval."""
+        if not (0.0 < fraction <= 1.0):
+            raise ConfigError(f"fraction must lie in (0, 1], got {fraction}")
+        return (0, max(1, int(self._timestamp * fraction)))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _pick_tenant(self) -> int:
+        return self._rng.choices(self._tenant_indexes, weights=self._weights)[0]
+
+    def _fresh_key(self, index: int) -> int:
+        lo, hi = self.spec.tenants[index].key_range
+        used = self._inserted_sets[index]
+        key = self._rng.randrange(lo, hi)
+        while key in used:
+            key = self._rng.randrange(lo, hi)
+        return key
+
+    def _pick_inserted(self, index: int) -> int:
+        keys = self.inserted[index]
+        return keys[self._rng.randrange(len(keys))]
+
+    def _pick_live(self, index: int) -> int | None:
+        for _ in range(16):
+            candidate = self._pick_inserted(index)
+            if candidate in self._live[index]:
+                return candidate
+        for candidate in self.inserted[index]:
+            if candidate in self._live[index]:
+                return candidate
+        return None
+
+    def _value_for(self, key: int) -> str:
+        return f"value-{key}-{self._rng.randrange(1 << 30)}"
+
+    def _next_timestamp(self) -> int:
+        self._timestamp += 1
+        return self._timestamp

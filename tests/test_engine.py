@@ -274,11 +274,31 @@ class TestIngestDispatch:
         assert kiwi_engine.get(1) is None
         assert kiwi_engine.get(2) is None  # removed by secondary delete
 
+    def test_dispatch_shard_aware_ops(self, kiwi_engine):
+        """The router's full vocabulary dispatches through one engine too."""
+        kiwi_engine.ingest(
+            [
+                ("put", 1, "one", 10),
+                ("flush",),
+                ("secondary_range_lookup", 5, 15),
+                ("advance_time", 0.5),
+            ]
+        )
+        assert kiwi_engine.stats.buffer_flushes >= 1
+        assert kiwi_engine.stats.secondary_range_lookups == 1
+        assert kiwi_engine.get(1) == "one"
+
     def test_unknown_op_rejected(self, baseline_engine):
         from repro.core.errors import LetheError
 
-        with pytest.raises(LetheError):
+        with pytest.raises(LetheError, match="unknown operation 'frobnicate'"):
             baseline_engine.ingest([("frobnicate", 1)])
+
+    def test_unknown_op_error_names_vocabulary(self, baseline_engine):
+        from repro.core.errors import LetheError
+
+        with pytest.raises(LetheError, match="secondary_range_lookup"):
+            baseline_engine.ingest([("nope",)])
 
 
 class TestMetrics:

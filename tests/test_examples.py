@@ -62,6 +62,15 @@ def test_streaming_window():
     assert "full page drops" in out
 
 
+def test_sharded_cluster():
+    out = run_example("sharded_cluster.py")
+    assert "k-way merged from shards" in out
+    assert "entries still inside purged window: 0" in out
+    assert "results identical to single engine: True" in out
+    # the hot shard must actually shrink after the split
+    assert "after splitting shard 0" in out
+
+
 def test_cli_list_and_table2():
     result = subprocess.run(
         [sys.executable, "-m", "repro", "list"],

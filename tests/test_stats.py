@@ -70,6 +70,55 @@ class TestStatistics:
         assert "srd_pages_written" in snap
         assert len(snap) >= 30
 
+    def test_merge_sums_counters_in_place(self):
+        left = Statistics()
+        left.entries_ingested = 10
+        left.pages_written = 3
+        right = Statistics()
+        right.entries_ingested = 5
+        right.compactions = 2
+        returned = left.merge(right)
+        assert returned is left
+        assert left.entries_ingested == 15
+        assert left.pages_written == 3
+        assert left.compactions == 2
+        assert right.entries_ingested == 5  # other side untouched
+
+    def test_merge_concatenates_persistence_records(self):
+        left = Statistics()
+        right = Statistics()
+        record = right.record_tombstone_insert(key=1, now=2.0)
+        left.merge(right)
+        assert left.persistence_records == [record]
+        assert left.unpersisted_count() == 1
+        # the record stays shared: closing it is visible in the merged view
+        record.persisted_at = 5.0
+        assert left.unpersisted_count() == 0
+
+    def test_combined_leaves_parts_unmutated(self):
+        parts = []
+        for value in (1, 2, 4):
+            part = Statistics()
+            part.entries_ingested = value
+            part.bytes_flushed = value * 100
+            parts.append(part)
+        total = Statistics.combined(parts)
+        assert total.entries_ingested == 7
+        assert total.bytes_flushed == 700
+        assert [p.entries_ingested for p in parts] == [1, 2, 4]
+        assert Statistics.combined([]).entries_ingested == 0
+
+    def test_combined_derived_metrics(self):
+        """Cluster-level derived metrics fall out of the summed counters."""
+        left = Statistics()
+        left.bytes_flushed = 100
+        left.compaction_bytes_written = 100
+        right = Statistics()
+        right.bytes_flushed = 100
+        right.compaction_bytes_written = 300
+        total = Statistics.combined([left, right])
+        assert total.write_amplification(total.bytes_flushed) == pytest.approx(2.0)
+
     def test_reset_read_counters(self):
         stats = Statistics()
         stats.point_lookups = 5

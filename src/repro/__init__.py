@@ -61,6 +61,13 @@ from repro.kiwi.tuning import (
     optimal_tile_granularity,
 )
 from repro.shard.engine import ShardedEngine
+from repro.shard.parallel import (
+    AsyncIngestQueue,
+    PooledExecutor,
+    SerialExecutor,
+    ShardExecutor,
+    make_executor,
+)
 from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.storage.entry import Entry, EntryKind, RangeTombstone
 from repro.workloads.generator import WorkloadGenerator
@@ -74,6 +81,7 @@ from repro.workloads.spec import DeleteKeyMode, WorkloadSpec
 __version__ = "1.0.0"
 
 __all__ = [
+    "AsyncIngestQueue",
     "BloomFilterScope",
     "CompactionError",
     "CompactionTrigger",
@@ -92,8 +100,11 @@ __all__ = [
     "MultiTenantWorkload",
     "PageFullError",
     "Partitioner",
+    "PooledExecutor",
     "RangePartitioner",
     "RangeTombstone",
+    "SerialExecutor",
+    "ShardExecutor",
     "ShardedEngine",
     "SimulatedClock",
     "Statistics",
@@ -107,6 +118,7 @@ __all__ = [
     "best_feasible_h",
     "kiwi_metadata_overhead_bytes",
     "lethe_config",
+    "make_executor",
     "optimal_tile_granularity",
     "rocksdb_config",
     "__version__",

@@ -6,6 +6,8 @@ Usage::
     python -m repro fig6a                # run one figure's experiment
     python -m repro all                  # run everything (slow)
     python -m repro fig6h --inserts 4000 # scale override
+    python -m repro parallel             # serial vs pooled shard dispatch
+    python -m repro shard --executor pooled   # sharded bench, thread pool
 
 Each experiment prints the same series its paper figure plots; the
 benchmark suite (`pytest benchmarks/ --benchmark-only`) wraps the same
@@ -29,17 +31,18 @@ _SWEEP_FIGURES = {
 }
 
 _STANDALONE = {
-    "fig6e": lambda scale: ex.fig6e_tombstone_ages(scale),
-    "fig6f": lambda scale: ex.fig6f_write_amortization(scale),
-    "fig6g": lambda scale: ex.fig6g_latency_scaling(scale),
-    "fig6h": lambda scale: ex.fig6h_page_drops(scale),
-    "fig6i": lambda scale: ex.fig6i_lookup_cost(scale),
-    "fig6j": lambda scale: ex.fig6j_optimal_layout(scale),
-    "fig6k": lambda scale: ex.fig6k_cpu_io_tradeoff(scale),
-    "fig6l": lambda scale: ex.fig6l_correlation(scale),
-    "fig1": lambda scale: ex.fig1_summary(scale),
-    "table2": lambda scale: ex.table2_cost_model(),
-    "shard": lambda scale: ex.shard_scaling(scale),
+    "fig6e": lambda scale, executor: ex.fig6e_tombstone_ages(scale),
+    "fig6f": lambda scale, executor: ex.fig6f_write_amortization(scale),
+    "fig6g": lambda scale, executor: ex.fig6g_latency_scaling(scale),
+    "fig6h": lambda scale, executor: ex.fig6h_page_drops(scale),
+    "fig6i": lambda scale, executor: ex.fig6i_lookup_cost(scale),
+    "fig6j": lambda scale, executor: ex.fig6j_optimal_layout(scale),
+    "fig6k": lambda scale, executor: ex.fig6k_cpu_io_tradeoff(scale),
+    "fig6l": lambda scale, executor: ex.fig6l_correlation(scale),
+    "fig1": lambda scale, executor: ex.fig1_summary(scale),
+    "table2": lambda scale, executor: ex.table2_cost_model(),
+    "shard": lambda scale, executor: ex.shard_scaling(scale, executor=executor),
+    "parallel": lambda scale, executor: ex.parallel_scaling(scale),
 }
 
 
@@ -52,7 +55,9 @@ def _scale_from(args: argparse.Namespace) -> ExperimentScale:
     )
 
 
-def _run_one(name: str, scale: ExperimentScale, sweep_cache: dict) -> None:
+def _run_one(
+    name: str, scale: ExperimentScale, sweep_cache: dict, executor: str
+) -> None:
     started = time.time()
     if name in _SWEEP_FIGURES:
         if "sweep" not in sweep_cache:
@@ -60,7 +65,7 @@ def _run_one(name: str, scale: ExperimentScale, sweep_cache: dict) -> None:
             sweep_cache["sweep"] = ex.delete_sweep(scale)
         result = _SWEEP_FIGURES[name](sweep_cache["sweep"])
     else:
-        result = _STANDALONE[name](scale)
+        result = _STANDALONE[name](scale, executor)
     elapsed = time.time() - started
     print(result.report)
     print(f"[{name} done in {elapsed:.1f}s]\n")
@@ -74,7 +79,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig6a..fig6l, fig1, table2, shard), "
+        help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel), "
         "'all', or 'list'",
     )
     parser.add_argument(
@@ -82,6 +87,13 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         help="override the workload size (default: the bench scale, 9000)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "pooled"),
+        default="serial",
+        help="shard dispatch strategy for sharded experiments (the "
+        "'parallel' experiment always compares both)",
     )
     args = parser.parse_args(argv)
 
@@ -97,13 +109,13 @@ def main(argv: list[str] | None = None) -> int:
     sweep_cache: dict = {}
     if args.experiment == "all":
         for name in known:
-            _run_one(name, scale, sweep_cache)
+            _run_one(name, scale, sweep_cache, args.executor)
         return 0
     if args.experiment not in known:
         print(f"unknown experiment {args.experiment!r}; try 'list'",
               file=sys.stderr)
         return 2
-    _run_one(args.experiment, scale, sweep_cache)
+    _run_one(args.experiment, scale, sweep_cache, args.executor)
     return 0
 
 

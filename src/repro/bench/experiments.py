@@ -789,6 +789,7 @@ def shard_scaling(
     n_tenants: int = 8,
     skew: float = 2.0,
     purge_fraction: float = 0.25,
+    executor: str = "serial",
 ) -> ExperimentResult:
     """Partitioned Lethe: ingest throughput and scatter-gather SRD cost.
 
@@ -830,6 +831,10 @@ def shard_scaling(
             shard.stats.reset_read_counters()
         cluster.ingest(query_ops)
         stats = cluster.stats
+        # Release pooled worker threads; the later per-shard breakdown
+        # only reads counters (and a pooled executor self-heals if used
+        # again).
+        cluster.executor.close()
         return {
             "ingest_ops_per_s": len(ingest_ops) / ingest_wall,
             "write_amplification": cluster.write_amplification(),
@@ -842,7 +847,11 @@ def shard_scaling(
         }
 
     results = {
-        n: run_cluster(ShardedEngine(config, partitioner=HashPartitioner(n)))
+        n: run_cluster(
+            ShardedEngine(
+                config, partitioner=HashPartitioner(n), executor=executor
+            )
+        )
         for n in shard_counts
     }
     largest = max(shard_counts)
@@ -851,6 +860,7 @@ def shard_scaling(
         partitioner=RangePartitioner.from_keys(
             [op[1] for op in ingest_ops if op[0] == "put"], largest
         ),
+        executor=executor,
     )
     range_result = run_cluster(range_cluster)
 
@@ -887,7 +897,7 @@ def shard_scaling(
         title=(
             f"Shard scaling ({n_tenants} tenants, skew {skew}; "
             f"purge = oldest {purge_fraction:.0%} of timestamps; "
-            f"{largest}R = range-partitioned)"
+            f"{largest}R = range-partitioned; {executor} executor)"
         ),
     )
     per_shard_rows = []
@@ -936,4 +946,181 @@ def shard_scaling(
             "range_srd_pages": range_result["srd_pages"],
         },
         report=aggregate + "\n\n" + breakdown,
+    )
+
+
+# ======================================================================
+# Parallel scaling: serial vs pooled fan-out, sync vs pipelined ingest
+# ======================================================================
+
+
+def parallel_scaling(
+    scale: ExperimentScale = BENCH_SCALE,
+    shard_counts: tuple[int, ...] = (1, 2, 4, 8),
+    real_io_seconds: float = 200e-6,
+    num_scans: int = 4,
+    num_secondary_lookups: int = 4,
+    purge_fraction: float = 0.25,
+    queue_depth: int = 4,
+    ingest_sample: int | None = 2000,
+) -> ExperimentResult:
+    """Wall-clock speedup from pooled shard execution + the ingest queue.
+
+    Independent trees are embarrassingly parallel — Lethe's FADE/KiWi
+    costs are all per-tree — but PR 1 fanned every multi-shard operation
+    out in a Python ``for`` loop, so the per-shard work reduction never
+    became wall-clock speedup. This experiment measures the fix. The
+    device model matters: page I/O waits (``real_io_seconds``, served via
+    ``time.sleep``) release the GIL, so a thread pool overlaps the
+    shards' device time exactly as a deployment overlaps requests to
+    independent disks; the pure-Python merging stays serialized.
+
+    Protocol, per shard count and per executor: preload the multi-tenant
+    stream at zero device latency, switch every shard's disk to the real
+    latency model, then time a fan-out phase (cross-shard scans,
+    scatter-gather secondary lookups, a time-window purge, a cluster
+    flush). Serial and pooled clusters replay identical work and must
+    return identical results. A second measurement times synchronous vs
+    pipelined ``ingest`` (bounded :class:`~repro.shard.parallel.
+    AsyncIngestQueue`) at the largest shard count with the device model
+    active, streaming with a small ``max_batch`` so batches actually
+    pipeline.
+    """
+    spec = MultiTenantSpec.skewed(
+        n_tenants=8,
+        skew=2.0,
+        num_inserts=scale.num_inserts,
+        num_point_lookups=0,
+        seed=scale.seed,
+    )
+    workload = MultiTenantWorkload(spec)
+    ingest_ops = list(workload.ingest_operations())
+    purge_lo, purge_hi = workload.retention_window(purge_fraction)
+    config = lethe_config(
+        1e9,  # D_th far away: this experiment isolates dispatch strategy
+        delete_tile_pages=4,
+        force_kiwi_layout=True,
+        **scale.engine_overrides(),
+    )
+    put_keys = [op[1] for op in ingest_ops if op[0] == "put"]
+    key_lo, key_hi = min(put_keys), max(put_keys)
+    d_keys = [op[3] for op in ingest_ops if op[0] == "put" and op[3] is not None]
+    d_lo, d_hi = min(d_keys), max(d_keys)
+    d_span = max(1, d_hi - d_lo)
+
+    def fan_out_phase(cluster: ShardedEngine) -> tuple[float, tuple]:
+        """The timed multi-shard workload; returns (wall_s, checksum)."""
+        started = time.perf_counter()
+        scan_sizes = []
+        for _ in range(num_scans):
+            scan_sizes.append(len(cluster.scan(key_lo, key_hi)))
+        lookup_sizes = []
+        for step in range(num_secondary_lookups):
+            window_lo = d_lo + (step * d_span) // (num_secondary_lookups + 1)
+            window_hi = window_lo + d_span // 10
+            lookup_sizes.append(
+                len(cluster.secondary_range_lookup(window_lo, window_hi))
+            )
+        purge = cluster.secondary_range_delete(purge_lo, purge_hi)
+        after = cluster.scan(key_lo, key_hi)
+        cluster.flush()
+        wall = time.perf_counter() - started
+        checksum = (
+            tuple(scan_sizes),
+            tuple(lookup_sizes),
+            purge.entries_dropped,
+            len(after),
+            hash(tuple(after)),
+        )
+        return wall, checksum
+
+    def measure(n: int, executor: str) -> float:
+        cluster = ShardedEngine(
+            config, partitioner=HashPartitioner(n), executor=executor
+        )
+        cluster.ingest(ingest_ops)
+        cluster.flush()
+        for shard in cluster.shards:
+            shard.disk.real_io_seconds = real_io_seconds
+        wall, checksum = fan_out_phase(cluster)
+        checksums.setdefault(n, checksum)
+        if checksums[n] != checksum:
+            raise AssertionError(
+                f"executor changed results at {n} shards: "
+                f"{checksums[n]} != {checksum}"
+            )
+        cluster.executor.close()
+        return wall
+
+    checksums: dict[int, tuple] = {}
+    serial_walls = [measure(n, "serial") for n in shard_counts]
+    pooled_walls = [measure(n, "pooled") for n in shard_counts]
+    speedups = [s / p if p > 0 else 0.0 for s, p in zip(serial_walls, pooled_walls)]
+
+    # --- pipelined vs synchronous ingest at the largest shard count ----
+    largest = max(shard_counts)
+    sample = ingest_ops if ingest_sample is None else ingest_ops[:ingest_sample]
+    latency_config = config.with_updates(real_io_seconds=real_io_seconds)
+
+    def measure_ingest(pipelined: bool) -> float:
+        cluster = ShardedEngine(
+            latency_config,
+            partitioner=HashPartitioner(largest),
+            max_batch=64,  # stream small batches so the queue pipelines
+            ingest_queue_depth=queue_depth,
+        )
+        started = time.perf_counter()
+        cluster.ingest(sample, pipelined=pipelined)
+        cluster.flush()
+        return time.perf_counter() - started
+
+    sync_ingest_wall = measure_ingest(pipelined=False)
+    queued_ingest_wall = measure_ingest(pipelined=True)
+    ingest_speedup = (
+        sync_ingest_wall / queued_ingest_wall if queued_ingest_wall > 0 else 0.0
+    )
+
+    rows = [
+        [
+            n,
+            f"{serial_walls[i]:.3f}",
+            f"{pooled_walls[i]:.3f}",
+            f"{speedups[i]:.2f}x",
+            "yes",
+        ]
+        for i, n in enumerate(shard_counts)
+    ]
+    report = format_table(
+        ["shards", "serial fan-out (s)", "pooled fan-out (s)", "speedup",
+         "identical results"],
+        rows,
+        title=(
+            f"Parallel scaling (device latency {real_io_seconds*1e6:.0f} "
+            f"µs/page; {num_scans} scans + {num_secondary_lookups} secondary "
+            f"lookups + purge + flush per run)"
+        ),
+    )
+    report += (
+        f"\n\nAsync ingest queue at {largest} shards "
+        f"(depth {queue_depth}, max_batch 64, {len(sample)} ops, device "
+        f"latency on):\n"
+        f"  synchronous ingest: {sync_ingest_wall:.3f}s  "
+        f"({len(sample)/sync_ingest_wall:.0f} ops/s)\n"
+        f"  pipelined ingest:   {queued_ingest_wall:.3f}s  "
+        f"({len(sample)/queued_ingest_wall:.0f} ops/s)\n"
+        f"  speedup:            {ingest_speedup:.2f}x"
+    )
+    return ExperimentResult(
+        figure="ParallelScaling",
+        series={
+            "shards": list(shard_counts),
+            "serial_wall_seconds": serial_walls,
+            "pooled_wall_seconds": pooled_walls,
+            "speedups": speedups,
+            "real_io_seconds": real_io_seconds,
+            "sync_ingest_wall": sync_ingest_wall,
+            "queued_ingest_wall": queued_ingest_wall,
+            "ingest_speedup": ingest_speedup,
+        },
+        report=report,
     )

@@ -3,8 +3,27 @@
 The harness fixes the structural parameters of the evaluation (§5 default
 setup: T = 10, 10 bits/key Bloom filters, RocksDB-style tiered first disk
 level, ingestion rate 2^10 entries/s) and scales the data volume down so a
-laptop reproduces each figure in seconds. ``ExperimentScale`` is the single
-place experiments and tests pick their size.
+laptop reproduces each figure in seconds. Its pieces:
+
+* :class:`ExperimentScale` — the single place experiments and tests pick
+  their size. The structural knobs (buffer, page, file sizes) keep the
+  tree 2–3 disk levels deep at the scaled-down volume, preserving the
+  ratios (``T``, ``B``, ``P``, bits/key) that govern LSM behaviour;
+  ``TEST_SCALE`` and ``BENCH_SCALE`` are the two blessed presets.
+* :func:`workload_for` — materializes one operation list that *every*
+  engine of a comparison replays identically, plus the simulated runtime
+  that ``D_th`` percentages are taken against (the paper's "D_th = 25%
+  of the experiment's run-time").
+* :func:`make_baseline` / :func:`make_lethe` — the two named engine
+  setups (RocksDB-like vs FADE+KiWi) at a given scale.
+* :func:`run_engine` — the §5 measurement protocol: ingest, zero the
+  read counters, query, snapshot into a :class:`RunResult`.
+* :func:`preload_kiwi_engine` / :func:`preload_classic_engine` — settled
+  preloaded databases for the layout experiments (Fig 6H–6L), which
+  measure storage behaviour rather than compaction policy.
+
+Experiment drivers in :mod:`repro.bench.experiments` compose these; the
+``benchmarks/`` suite wraps the drivers with timing and shape assertions.
 """
 
 from __future__ import annotations

@@ -16,9 +16,24 @@ while keeping experiments deterministic and fast.
 The clock may also be advanced manually (e.g. to model an idle period after
 which TTLs expire), which the FADE tests use to provoke delete-driven
 compactions without ingesting filler data.
+
+Thread safety
+-------------
+A sharded cluster shares **one** clock across all member engines so FADE
+TTLs and persistence latencies stay on a single cluster-wide timeline.
+Under pooled shard execution (:mod:`repro.shard.parallel`) several member
+engines tick that clock concurrently, and ``self._now += step`` is a
+read-modify-write the interpreter may preempt mid-update. :meth:`tick`
+and :meth:`advance` therefore mutate under an internal lock: after any
+interleaving of N ticks the clock has moved by exactly ``N / I`` seconds.
+Reads (:attr:`now`, :attr:`ticks`) are single attribute loads — atomic
+under the GIL — and stay lock-free, so the hot read path (every TTL and
+file-age comparison) pays nothing.
 """
 
 from __future__ import annotations
+
+import threading
 
 from repro.core.errors import ConfigError
 
@@ -36,7 +51,7 @@ class SimulatedClock:
         Initial time in seconds. Defaults to ``0.0``.
     """
 
-    __slots__ = ("_now", "_ingestion_rate", "_tick_seconds", "_ticks")
+    __slots__ = ("_now", "_ingestion_rate", "_tick_seconds", "_ticks", "_lock")
 
     def __init__(self, ingestion_rate: float = 1024.0, start: float = 0.0):
         if ingestion_rate <= 0:
@@ -47,6 +62,7 @@ class SimulatedClock:
         self._tick_seconds = 1.0 / float(ingestion_rate)
         self._now = float(start)
         self._ticks = 0
+        self._lock = threading.Lock()
 
     @property
     def now(self) -> float:
@@ -70,9 +86,10 @@ class SimulatedClock:
         """
         if count < 0:
             raise ValueError(f"tick count must be non-negative, got {count}")
-        self._ticks += count
-        self._now += count * self._tick_seconds
-        return self._now
+        with self._lock:
+            self._ticks += count
+            self._now += count * self._tick_seconds
+            return self._now
 
     def advance(self, seconds: float) -> float:
         """Advance time by an explicit duration (idle time, no ingestion).
@@ -81,8 +98,9 @@ class SimulatedClock:
         """
         if seconds < 0:
             raise ValueError(f"cannot move time backwards (advance by {seconds})")
-        self._now += seconds
-        return self._now
+        with self._lock:
+            self._now += seconds
+            return self._now
 
     def elapsed_since(self, timestamp: float) -> float:
         """Seconds elapsed between ``timestamp`` and now (clamped at 0)."""

@@ -120,6 +120,12 @@ class EngineConfig:
     hash_seconds:
         Simulated cost of one Bloom-filter hash computation (§4.2.4
         measured 80 ns for MurmurHash on a 64-bit key).
+    real_io_seconds:
+        *Real* (wall-clock) seconds slept per simulated page I/O. Default
+        0 keeps experiments instantaneous; the parallel-scaling bench sets
+        it to emulate an actual device wait — ``time.sleep`` releases the
+        GIL, so pooled shard execution overlaps these waits exactly as a
+        deployment overlaps requests to independent disks.
     avoid_blind_deletes:
         When true, FADE probes Bloom filters before inserting a tombstone
         and skips tombstones for keys that are definitely absent (§4.1.5
@@ -167,6 +173,7 @@ class EngineConfig:
     file_pages: int = 64
     page_io_seconds: float = 100e-6
     hash_seconds: float = 80e-9
+    real_io_seconds: float = 0.0
     avoid_blind_deletes: bool = True
     rocksdb_tombstone_density_selection: bool = False
     level1_tiered: bool = False
@@ -219,6 +226,10 @@ class EngineConfig:
             )
         if self.page_io_seconds < 0 or self.hash_seconds < 0:
             raise ConfigError("latency model parameters must be non-negative")
+        if self.real_io_seconds < 0:
+            raise ConfigError(
+                f"real_io_seconds must be >= 0, got {self.real_io_seconds}"
+            )
         if self.cache_pages < 0:
             raise ConfigError(f"cache_pages must be >= 0, got {self.cache_pages}")
 

@@ -76,7 +76,9 @@ class LSMEngine:
         self.clock = clock or SimulatedClock(config.ingestion_rate)
         cache = LRUPageCache(config.cache_pages) if config.cache_pages else None
         self.cache = cache
-        self.disk = SimulatedDisk(self.stats, cache=cache)
+        self.disk = SimulatedDisk(
+            self.stats, cache=cache, real_io_seconds=config.real_io_seconds
+        )
         self.seq = SequenceGenerator()
         self.buffer = MemoryBuffer(config.buffer_entries)
         self.tree = LSMTree(config, self.stats)

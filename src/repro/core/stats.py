@@ -14,6 +14,17 @@ The evaluation section of the paper (§5) measures, per experiment:
 :class:`Statistics` is a single mutable registry threaded through the
 storage layer, the compaction machinery, and the engine facade, so every
 bench reads its series from one place.
+
+Thread safety
+-------------
+Counters are plain attributes incremented all over the engine, so a
+registry must only ever be *mutated* from one thread at a time. The
+sharded layer upholds that with one registry per member engine plus a
+per-shard lock around every dispatched task (:mod:`repro.shard.engine`);
+cluster-wide totals are built by :meth:`merge`/:meth:`combined` into a
+fresh registry while those locks are held. :meth:`merge` itself snapshots
+``other.persistence_records`` before extending, so a merged view taken
+concurrently with an append never observes a half-grown list.
 """
 
 from __future__ import annotations
@@ -120,6 +131,8 @@ class Statistics:
         Every scalar counter adds up; persistence records concatenate (the
         record objects stay shared with ``other``, so latencies recorded
         later by the owning engine are visible through the merged view).
+        The record list is snapshotted via ``list()`` so merging stays
+        well-defined even if ``other``'s owner appends concurrently.
         Returns ``self`` for chaining.
         """
         for spec in fields(self):
@@ -128,7 +141,7 @@ class Statistics:
             setattr(
                 self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
             )
-        self.persistence_records.extend(other.persistence_records)
+        self.persistence_records.extend(list(other.persistence_records))
         return self
 
     @classmethod

@@ -19,11 +19,46 @@ per-shard *configs* may still differ (per-tenant ``D_th`` or KiWi ``h``).
 Range-partitioned clusters additionally support :meth:`split` (divide a
 hot shard at a key) and :meth:`rebalance` (recut all split points at the
 observed key quantiles).
+
+Execution model (since PR 2): every multi-shard operation builds one task
+per participating shard and hands the list to a pluggable
+:class:`~repro.shard.parallel.ShardExecutor` — the serial loop by default,
+a thread pool with ``executor="pooled"``. ``ingest`` additionally supports
+a pipelined mode (``ingest_queue_depth > 0``) where the router's per-shard
+batches flow through a bounded :class:`~repro.shard.parallel.
+AsyncIngestQueue` and barriers drain it before executing.
+
+Concurrency model — three pieces, nothing else shared:
+
+1. **One immutable topology snapshot** (:class:`_Topology`: partitioner,
+   router, member engines, per-shard locks), swapped in a single
+   assignment by resharding, so every reader observes a mutually
+   consistent routing state.
+2. **One reader-writer gate**: every cluster operation holds the gate
+   *shared* for its whole duration; :meth:`split`/:meth:`rebalance` hold
+   it *exclusive*. The topology therefore never changes under an
+   in-flight operation — no operation can act on a retired member, and a
+   mutating fan-out never needs to retry or re-route mid-flight. An
+   operation that routed its work before a reshard (pipelined ingest
+   batches) re-routes per key when it observes the snapshot changed.
+3. **One lock per member engine**: every dispatched task holds its
+   shard's lock for its duration, so shards are internally serial,
+   mutually parallel, and ``Statistics`` registries are only ever
+   mutated single-threaded. (The shared clock has its own internal
+   lock — see :mod:`repro.core.clock`.)
+
+Gate discipline: shared acquisition happens only in the public entry
+points, never nested (a barrier inside ``ingest`` releases and
+re-acquires through the public method it dispatches), because the
+writer-preferring gate would deadlock a reader that re-enters while a
+writer waits.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import threading
+from contextlib import ExitStack, contextmanager
+from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.clock import SimulatedClock
 from repro.core.config import EngineConfig
@@ -32,9 +67,90 @@ from repro.core.errors import ConfigError, LetheError
 from repro.core.stats import Statistics
 from repro.kiwi.range_delete import SecondaryDeleteReport
 from repro.shard.merge import combine_reports, kway_merge
+from repro.shard.parallel import AsyncIngestQueue, ShardExecutor, make_executor
 from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.shard.router import Barrier, OperationRouter, ShardBatch
 from repro.storage.entry import Entry
+
+# Queue bound used when ``ingest(..., pipelined=True)`` is requested on a
+# cluster constructed with ``ingest_queue_depth=0`` (i.e. pipelining was
+# not pre-configured but is explicitly asked for on this call).
+DEFAULT_PIPELINE_DEPTH = 4
+
+
+class _Topology:
+    """One immutable routing snapshot: partitioner, router, members, locks.
+
+    Replaced wholesale (a single attribute assignment, atomic under the
+    interpreter) by :meth:`ShardedEngine.split` / :meth:`~ShardedEngine.
+    rebalance` while they hold the topology gate exclusively, so any
+    operation holding the gate shared observes one stable, mutually
+    consistent (partitioner, shards, locks) triple for its whole run.
+    """
+
+    __slots__ = ("partitioner", "router", "shards", "locks")
+
+    def __init__(
+        self,
+        partitioner: Partitioner,
+        shards: Sequence[LSMEngine],
+        max_batch: int,
+    ):
+        if len(shards) != partitioner.n_shards:
+            raise ConfigError(
+                f"{len(shards)} member engines for "
+                f"{partitioner.n_shards} shards"
+            )
+        self.partitioner = partitioner
+        self.router = OperationRouter(partitioner, max_batch=max_batch)
+        self.shards: list[LSMEngine] = list(shards)
+        self.locks: list[threading.RLock] = [
+            threading.RLock() for _ in self.shards
+        ]
+
+
+class _TopologyGate:
+    """A small writer-preferring reader-writer gate.
+
+    Cluster operations hold it shared (many at once); resharding holds
+    it exclusive. A waiting writer blocks new readers, so a reshard
+    cannot be starved by a stream of operations. Not reentrant — see the
+    gate discipline note in the module docstring.
+    """
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+
+    @contextmanager
+    def shared(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer:
+                self._condition.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._condition.notify_all()
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        with self._condition:
+            while self._writer:
+                self._condition.wait()
+            self._writer = True
+            while self._readers:
+                self._condition.wait()
+        try:
+            yield
+        finally:
+            with self._condition:
+                self._writer = False
+                self._condition.notify_all()
 
 
 class ShardedEngine:
@@ -57,6 +173,14 @@ class ShardedEngine:
     clock:
         Optional externally-owned clock shared with other engines under
         comparison.
+    executor:
+        How multi-shard work is dispatched: a
+        :class:`~repro.shard.parallel.ShardExecutor` instance, the string
+        ``"serial"`` / ``"pooled"``, or ``None`` for the serial default.
+    ingest_queue_depth:
+        When > 0, :meth:`ingest` pipelines per-shard batches through an
+        :class:`~repro.shard.parallel.AsyncIngestQueue` bounded at this
+        many batches per shard; 0 (default) keeps the synchronous path.
     """
 
     def __init__(
@@ -67,14 +191,21 @@ class ShardedEngine:
         shard_configs: Sequence[EngineConfig] | None = None,
         clock: SimulatedClock | None = None,
         max_batch: int = 1024,
+        executor: ShardExecutor | str | None = None,
+        ingest_queue_depth: int = 0,
     ):
         if (n_shards is None) == (partitioner is None):
             raise ConfigError("pass exactly one of n_shards / partitioner")
         if partitioner is None:
             partitioner = HashPartitioner(n_shards)
-        self.partitioner = partitioner
+        if ingest_queue_depth < 0:
+            raise ConfigError(
+                f"ingest_queue_depth must be >= 0, got {ingest_queue_depth}"
+            )
         self.config = config
         self.clock = clock or SimulatedClock(config.ingestion_rate)
+        self.executor = make_executor(executor)
+        self.ingest_queue_depth = ingest_queue_depth
         if shard_configs is None:
             configs = [config] * partitioner.n_shards
         else:
@@ -84,74 +215,158 @@ class ShardedEngine:
                     f"shard_configs has {len(configs)} entries for "
                     f"{partitioner.n_shards} shards"
                 )
-        self.shards: list[LSMEngine] = [
-            LSMEngine(shard_config, clock=self.clock) for shard_config in configs
-        ]
-        self.router = OperationRouter(partitioner, max_batch=max_batch)
+        self._gate = _TopologyGate()
+        self._topology = _Topology(
+            partitioner,
+            [LSMEngine(shard_config, clock=self.clock) for shard_config in configs],
+            max_batch,
+        )
         # Counters of shards retired by split/rebalance, so cluster totals
         # never go backwards when members are replaced.
         self._retired_stats = Statistics()
 
     # ------------------------------------------------------------------
-    # Construction helpers
+    # Topology access
     # ------------------------------------------------------------------
 
     @property
+    def partitioner(self) -> Partitioner:
+        return self._topology.partitioner
+
+    @property
+    def router(self) -> OperationRouter:
+        return self._topology.router
+
+    @property
+    def shards(self) -> list[LSMEngine]:
+        return self._topology.shards
+
+    @property
     def n_shards(self) -> int:
-        return self.partitioner.n_shards
+        return self._topology.partitioner.n_shards
 
     def shard_for(self, key: Any) -> LSMEngine:
         """The member engine owning ``key`` (for inspection/debugging)."""
-        return self.shards[self.partitioner.shard_for(key)]
+        topology = self._topology
+        return topology.shards[topology.partitioner.shard_for(key)]
+
+    # ------------------------------------------------------------------
+    # Dispatch plumbing
+    # ------------------------------------------------------------------
+
+    def _fan_out(
+        self,
+        topology: _Topology,
+        indexes: Sequence[int],
+        call: Callable[[LSMEngine], Any],
+    ) -> list[Any]:
+        """Run ``call(member)`` per shard index through the executor.
+
+        Results come back in ``indexes`` order. The caller holds the
+        gate shared, so ``topology`` is stable for the whole fan-out;
+        each task holds its shard's lock for its whole duration, so
+        pooled execution never interleaves two tasks on one member.
+        """
+
+        def task_for(index: int) -> Callable[[], Any]:
+            lock = topology.locks[index]
+            shard = topology.shards[index]
+
+            def task() -> Any:
+                with lock:
+                    return call(shard)
+
+            return task
+
+        return self.executor.run([task_for(index) for index in indexes])
 
     # ------------------------------------------------------------------
     # Write path (routed)
     # ------------------------------------------------------------------
 
     def put(self, key: Any, value: Any = None, delete_key: Any = None) -> None:
-        self.shard_for(key).put(key, value, delete_key=delete_key)
+        with self._gate.shared():
+            topology = self._topology
+            index = topology.partitioner.shard_for(key)
+            with topology.locks[index]:
+                topology.shards[index].put(key, value, delete_key=delete_key)
 
     def delete(self, key: Any) -> bool:
-        return self.shard_for(key).delete(key)
+        with self._gate.shared():
+            topology = self._topology
+            index = topology.partitioner.shard_for(key)
+            with topology.locks[index]:
+                return topology.shards[index].delete(key)
 
     def range_delete(self, start: Any, end: Any) -> None:
         """Sort-key range delete ``[start, end)`` on every overlapping shard."""
-        for index in self.partitioner.shards_for_range(start, end):
-            self.shards[index].range_delete(start, end)
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.shards_for_range(start, end),
+                lambda shard: shard.range_delete(start, end),
+            )
 
     def secondary_range_delete(self, d_lo: Any, d_hi: Any) -> SecondaryDeleteReport:
         """Scatter-gather delete on the secondary key: all shards, summed bill."""
-        return combine_reports(
-            shard.secondary_range_delete(d_lo, d_hi) for shard in self.shards
-        )
+        with self._gate.shared():
+            topology = self._topology
+            return combine_reports(
+                self._fan_out(
+                    topology,
+                    topology.partitioner.all_shards(),
+                    lambda shard: shard.secondary_range_delete(d_lo, d_hi),
+                )
+            )
 
     # ------------------------------------------------------------------
     # Read path (routed + merged)
     # ------------------------------------------------------------------
 
     def get(self, key: Any) -> Any:
-        return self.shard_for(key).get(key)
+        with self._gate.shared():
+            topology = self._topology
+            index = topology.partitioner.shard_for(key)
+            with topology.locks[index]:
+                return topology.shards[index].get(key)
 
     def scan(self, lo: Any, hi: Any) -> list[tuple[Any, Any]]:
         """Merged range lookup: k-way merge of the overlapping shards' scans."""
-        indexes = self.partitioner.shards_for_range(lo, hi)
-        if len(indexes) == 1:
-            return self.shards[indexes[0]].scan(lo, hi)
-        return kway_merge([self.shards[i].scan(lo, hi) for i in indexes])
+        with self._gate.shared():
+            topology = self._topology
+            results = self._fan_out(
+                topology,
+                topology.partitioner.shards_for_range(lo, hi),
+                lambda shard: shard.scan(lo, hi),
+            )
+        if len(results) == 1:
+            return results[0]
+        return kway_merge(results)
 
     def secondary_range_lookup(self, d_lo: Any, d_hi: Any) -> list[tuple[Any, Any]]:
         """Scatter-gather lookup on the delete key, merged in sort-key order."""
-        return kway_merge(
-            [shard.secondary_range_lookup(d_lo, d_hi) for shard in self.shards]
-        )
+        with self._gate.shared():
+            topology = self._topology
+            results = self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.secondary_range_lookup(d_lo, d_hi),
+            )
+        return kway_merge(results)
 
     # ------------------------------------------------------------------
     # Maintenance (broadcast)
     # ------------------------------------------------------------------
 
     def flush(self) -> None:
-        for shard in self.shards:
-            shard.flush()
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.flush(),
+            )
 
     def advance_time(self, seconds: float, check_interval: float | None = None) -> None:
         """Simulate idle time once, cluster-wide.
@@ -160,28 +375,40 @@ class ShardedEngine:
         runs its TTL/compaction check at the same instant — advancing each
         member independently would multiply idle time by the shard count.
         """
-        if check_interval is None:
-            check_interval = min(
-                shard.config.buffer_entries / shard.config.ingestion_rate
-                for shard in self.shards
-            )
-        remaining = float(seconds)
-        while remaining > 0:
-            step = min(check_interval, remaining)
-            remaining -= step
-            self.clock.advance(step)
-            for shard in self.shards:
-                shard.idle_check()
+        with self._gate.shared():
+            topology = self._topology
+            if check_interval is None:
+                check_interval = min(
+                    shard.config.buffer_entries / shard.config.ingestion_rate
+                    for shard in topology.shards
+                )
+            remaining = float(seconds)
+            while remaining > 0:
+                step = min(check_interval, remaining)
+                remaining -= step
+                self.clock.advance(step)
+                self._fan_out(
+                    topology,
+                    topology.partitioner.all_shards(),
+                    lambda shard: shard.idle_check(),
+                )
 
     def force_full_compaction(self) -> None:
-        for shard in self.shards:
-            shard.force_full_compaction()
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.force_full_compaction(),
+            )
 
     # ------------------------------------------------------------------
     # Batched ingest
     # ------------------------------------------------------------------
 
-    def ingest(self, operations: Iterable[tuple]) -> None:
+    def ingest(
+        self, operations: Iterable[tuple], pipelined: bool | None = None
+    ) -> None:
         """Apply a workload stream, grouped per shard before dispatch.
 
         Point operations accumulate into per-shard batches (one
@@ -189,7 +416,28 @@ class ShardedEngine:
         operation acts as a barrier that drains the batches first, so
         scatter-gather deletes and cross-shard scans observe every
         earlier write. Per-key operation order is always preserved.
+
+        ``pipelined`` selects the asynchronous path (default: on iff the
+        cluster was built with ``ingest_queue_depth > 0``): batches are
+        enqueued to per-shard workers through a bounded
+        :class:`~repro.shard.parallel.AsyncIngestQueue`, so a hot shard
+        works through its backlog while the stream keeps feeding the
+        others; barriers drain the queue before executing, preserving
+        exactly the serial path's visibility guarantees. Passing
+        ``pipelined=True`` on a cluster configured with depth 0 uses
+        :data:`DEFAULT_PIPELINE_DEPTH` as the per-shard bound. The queue
+        (and its one worker thread per shard) lives for this call only —
+        per-call lifetime keeps error isolation simple; amortize the
+        thread churn by feeding large streams, not per-operation calls.
+
+        The stream is routed against the topology current at call time;
+        the gate is taken per batch (not for the whole stream), so a
+        reshard may land between batches — each batch then re-routes its
+        operations through the new topology (see :meth:`_apply_batch`).
         """
+        if pipelined is None:
+            pipelined = self.ingest_queue_depth > 0
+        topology = self._topology
         barrier_dispatch = {
             "range_delete": self.range_delete,
             "scan": self.scan,
@@ -198,15 +446,63 @@ class ShardedEngine:
             "flush": self.flush,
             "advance_time": self.advance_time,
         }
-        for item in self.router.batches(operations):
-            if isinstance(item, ShardBatch):
-                self.shards[item.shard].ingest(item.operations)
-            elif isinstance(item, Barrier):
-                name = item.operation[0]
-                handler = barrier_dispatch.get(name)
-                if handler is None:  # pragma: no cover - router rejects first
-                    raise LetheError(f"unroutable barrier operation {name!r}")
-                handler(*item.operation[1:])
+
+        def run_barrier(item: Barrier) -> None:
+            name = item.operation[0]
+            handler = barrier_dispatch.get(name)
+            if handler is None:  # pragma: no cover - router rejects first
+                raise LetheError(f"unroutable barrier operation {name!r}")
+            handler(*item.operation[1:])
+
+        if not pipelined:
+            for item in topology.router.batches(operations):
+                if isinstance(item, ShardBatch):
+                    self._apply_batch(topology, item.shard, item.operations)
+                elif isinstance(item, Barrier):
+                    run_barrier(item)
+            return
+
+        def handler_for(index: int) -> Callable[[list], None]:
+            return lambda batch_ops: self._apply_batch(
+                topology, index, batch_ops
+            )
+
+        ingest_queue = AsyncIngestQueue(
+            [handler_for(index) for index in range(topology.partitioner.n_shards)],
+            depth=self.ingest_queue_depth or DEFAULT_PIPELINE_DEPTH,
+        )
+        try:
+            for item in topology.router.batches(operations):
+                if isinstance(item, ShardBatch):
+                    ingest_queue.enqueue(item.shard, item.operations)
+                elif isinstance(item, Barrier):
+                    ingest_queue.drain()
+                    run_barrier(item)
+            ingest_queue.drain()
+        finally:
+            ingest_queue.close()
+
+    def _apply_batch(
+        self, routed: _Topology, index: int, batch_ops: list
+    ) -> None:
+        """Apply one routed batch under the gate.
+
+        ``index`` is only meaningful against the topology the stream was
+        routed with; if a reshard replaced it between batches, every
+        operation re-routes individually through the current topology —
+        a shard index must never be reinterpreted against a different
+        partitioner.
+        """
+        with self._gate.shared():
+            topology = self._topology
+            if topology is routed:
+                with topology.locks[index]:
+                    topology.shards[index].ingest(batch_ops)
+                return
+            for op in batch_ops:
+                for target in topology.router.shards_for(op):
+                    with topology.locks[target]:
+                        topology.shards[target].ingest([op])
 
     # ------------------------------------------------------------------
     # Resharding (range partitioning only)
@@ -221,28 +517,48 @@ class ShardedEngine:
         monotone. Migration re-ingests entries through the normal write
         path — ticking the shared clock and paying flush I/O, as a real
         shard split pays its copy cost. Returns the two new shard indexes.
-        """
-        partitioner = self._require_range_partitioner("split")
-        low, high = partitioner.shard_bounds(shard_index)
-        if (low is not None and not low < split_key) or (
-            high is not None and not split_key < high
-        ):
-            raise ConfigError(
-                f"split key {split_key!r} outside shard {shard_index} "
-                f"bounds [{low!r}, {high!r})"
-            )
-        retiring = self.shards[shard_index]
-        survivors = _live_entries(retiring)
-        self._retired_stats.merge(retiring.stats)
 
-        left = LSMEngine(retiring.config, clock=self.clock)
-        right = LSMEngine(retiring.config, clock=self.clock)
-        self.partitioner = partitioner.with_split(split_key)
-        self.router = OperationRouter(self.partitioner, max_batch=self.router.max_batch)
-        self.shards[shard_index : shard_index + 1] = [left, right]
-        for entry in survivors:
-            target = left if entry.key < split_key else right
-            target.put(entry.key, entry.value, delete_key=entry.delete_key)
+        Concurrency: holds the topology gate exclusively (no cluster
+        operation is in flight) and publishes the new topology as one
+        snapshot swap, so concurrent callers see either the old cluster
+        or the new one — never a half-retired shard or double-counted
+        counters. Operations arriving during the split block at the gate
+        and route through the new topology once it is published.
+        """
+        with self._gate.exclusive():
+            topology = self._topology
+            partitioner = self._require_range_partitioner(
+                "split", topology.partitioner
+            )
+            low, high = partitioner.shard_bounds(shard_index)
+            if (low is not None and not low < split_key) or (
+                high is not None and not split_key < high
+            ):
+                raise ConfigError(
+                    f"split key {split_key!r} outside shard {shard_index} "
+                    f"bounds [{low!r}, {high!r})"
+                )
+            retiring = topology.shards[shard_index]
+            survivors = _live_entries(retiring)
+            self._retired_stats.merge(retiring.stats)
+
+            left = LSMEngine(retiring.config, clock=self.clock)
+            right = LSMEngine(retiring.config, clock=self.clock)
+            # Migrate into the fresh engines before publishing them: the
+            # new members enter the topology fully populated.
+            for entry in survivors:
+                target = left if entry.key < split_key else right
+                target.put(entry.key, entry.value, delete_key=entry.delete_key)
+            new_shards = (
+                topology.shards[:shard_index]
+                + [left, right]
+                + topology.shards[shard_index + 1 :]
+            )
+            self._topology = _Topology(
+                partitioner.with_split(split_key),
+                new_shards,
+                topology.router.max_batch,
+            )
         return shard_index, shard_index + 1
 
     def rebalance(self) -> list[Any]:
@@ -250,71 +566,116 @@ class ShardedEngine:
 
         Collects all live entries, chooses balanced split points, rebuilds
         every member engine, and re-ingests — the heavyweight cluster-wide
-        analogue of :meth:`split`. Returns the new split points.
+        analogue of :meth:`split`. The quantile collection (a full scan of
+        every member) dispatches through the executor; the exclusive gate
+        already guarantees nothing else touches the members, and results
+        come back in shard order, so the chosen split points do not depend
+        on the dispatch strategy. Publishes the new topology as one
+        snapshot swap, like :meth:`split`. Returns the new split points.
         """
-        self._require_range_partitioner("rebalance")
-        survivors: list[Entry] = []
-        for shard in self.shards:
-            survivors.extend(_live_entries(shard))
-        if len(set(e.key for e in survivors)) < self.n_shards:
-            # Validate before retiring anything: the shards stay live on
-            # this path, so folding their counters into the retired bucket
-            # would double-count every cluster metric from here on.
-            raise LetheError(
-                f"cannot rebalance {self.n_shards} shards over "
-                f"{len(survivors)} live keys"
+        with self._gate.exclusive():
+            topology = self._topology
+            self._require_range_partitioner("rebalance", topology.partitioner)
+            survivors: list[Entry] = []
+            per_shard = self.executor.run(
+                [
+                    (lambda shard=shard: _live_entries(shard))
+                    for shard in topology.shards
+                ]
             )
-        for shard in self.shards:
-            self._retired_stats.merge(shard.stats)
-        configs = [shard.config for shard in self.shards]
-        self.partitioner = RangePartitioner.from_keys(
-            [entry.key for entry in survivors], self.n_shards
-        )
-        self.router = OperationRouter(self.partitioner, max_batch=self.router.max_batch)
-        self.shards = [
-            LSMEngine(shard_config, clock=self.clock) for shard_config in configs
-        ]
-        for entry in survivors:
-            self.shard_for(entry.key).put(
-                entry.key, entry.value, delete_key=entry.delete_key
+            for shard_entries in per_shard:
+                survivors.extend(shard_entries)
+            n_shards = topology.partitioner.n_shards
+            if len(set(e.key for e in survivors)) < n_shards:
+                # Validate before retiring anything: the shards stay live
+                # on this path, so folding their counters into the retired
+                # bucket would double-count every cluster metric from here
+                # on.
+                raise LetheError(
+                    f"cannot rebalance {n_shards} shards over "
+                    f"{len(survivors)} live keys"
+                )
+            for shard in topology.shards:
+                self._retired_stats.merge(shard.stats)
+            new_partitioner = RangePartitioner.from_keys(
+                [entry.key for entry in survivors], n_shards
             )
-        return list(self.partitioner.split_points)
+            new_shards = [
+                LSMEngine(shard.config, clock=self.clock)
+                for shard in topology.shards
+            ]
+            # Migrate before publishing, as in split().
+            for entry in survivors:
+                new_shards[new_partitioner.shard_for(entry.key)].put(
+                    entry.key, entry.value, delete_key=entry.delete_key
+                )
+            self._topology = _Topology(
+                new_partitioner, new_shards, topology.router.max_batch
+            )
+            return list(new_partitioner.split_points)
 
-    def _require_range_partitioner(self, operation: str) -> RangePartitioner:
-        if not isinstance(self.partitioner, RangePartitioner):
+    def _require_range_partitioner(
+        self, operation: str, partitioner: Partitioner | None = None
+    ) -> RangePartitioner:
+        partitioner = partitioner if partitioner is not None else self.partitioner
+        if not isinstance(partitioner, RangePartitioner):
             raise ConfigError(
                 f"{operation}() requires a RangePartitioner, cluster uses "
-                f"{self.partitioner.describe()}"
+                f"{partitioner.describe()}"
             )
-        return self.partitioner
+        return partitioner
 
     # ------------------------------------------------------------------
     # Cluster metrics
     # ------------------------------------------------------------------
 
+    @contextmanager
+    def _locked_view(self) -> Iterator[_Topology]:
+        """Gate (shared) plus every shard lock: a quiescent read view.
+
+        Metric readers use this so a monitoring thread never walks a
+        tree or buffer that a concurrent flush/compaction is
+        restructuring. Acquired only from public entry points, never
+        nested (gate discipline).
+        """
+        with self._gate.shared():
+            topology = self._topology
+            with ExitStack() as stack:
+                for lock in topology.locks:
+                    stack.enter_context(lock)
+                yield topology
+
     @property
     def stats(self) -> Statistics:
-        """Cluster-wide counters: live shards plus retired ones."""
-        return Statistics.combined(
-            [self._retired_stats] + [shard.stats for shard in self.shards]
-        )
+        """Cluster-wide counters: live shards plus retired ones.
+
+        Takes every shard lock (index order) so the merged registry is a
+        consistent snapshot even while pooled work is in flight.
+        """
+        with self._locked_view() as topology:
+            return Statistics.combined(
+                [self._retired_stats]
+                + [shard.stats for shard in topology.shards]
+            )
 
     def shard_stats(self) -> list[Statistics]:
         """Per-shard counter registries (live members only)."""
-        return [shard.stats for shard in self.shards]
+        with self._locked_view() as topology:
+            return [shard.stats for shard in topology.shards]
 
     def space_amplification(self) -> float:
         """Cluster ``samp``: summed over shards, not averaged — a bloated
         shard cannot hide behind an empty one (§3.2.1 applied to ΣN, ΣU)."""
         total = 0
         unique = 0
-        for shard in self.shards:
-            shard_total, shard_unique = shard.tree.live_unique_bytes(
-                buffer_entries=list(shard.buffer),
-                buffer_range_tombstones=list(shard.buffer.range_tombstones),
-            )
-            total += shard_total
-            unique += shard_unique
+        with self._locked_view() as topology:
+            for shard in topology.shards:
+                shard_total, shard_unique = shard.tree.live_unique_bytes(
+                    buffer_entries=list(shard.buffer),
+                    buffer_range_tombstones=list(shard.buffer.range_tombstones),
+                )
+                total += shard_total
+                unique += shard_unique
         if unique == 0:
             return 0.0
         return (total - unique) / unique
@@ -324,22 +685,36 @@ class ShardedEngine:
         return combined.write_amplification(combined.bytes_flushed)
 
     def tombstones_on_disk(self) -> int:
-        return sum(shard.tombstones_on_disk() for shard in self.shards)
+        with self._locked_view() as topology:
+            return sum(
+                shard.tombstones_on_disk() for shard in topology.shards
+            )
 
     def shard_entry_counts(self) -> list[int]:
         """Physical entries per shard (tree + buffer) — the balance view."""
-        return [
-            shard.tree.total_entries + len(shard.buffer) for shard in self.shards
-        ]
+        with self._locked_view() as topology:
+            return _entry_counts(topology)
 
     def describe(self) -> str:
-        lines = [
-            f"ShardedEngine({self.partitioner.describe()}, "
-            f"entries/shard={self.shard_entry_counts()})"
-        ]
-        for index, shard in enumerate(self.shards):
-            lines.append(f"shard {index}: " + shard.describe().replace("\n", "\n  "))
+        with self._locked_view() as topology:
+            lines = [
+                f"ShardedEngine({topology.partitioner.describe()}, "
+                f"executor={self.executor.describe()}, "
+                f"entries/shard={_entry_counts(topology)})"
+            ]
+            for index, shard in enumerate(topology.shards):
+                lines.append(
+                    f"shard {index}: " + shard.describe().replace("\n", "\n  ")
+                )
         return "\n".join(lines)
+
+
+def _entry_counts(topology: _Topology) -> list[int]:
+    """Physical entries per member (tree + buffer); caller holds the view."""
+    return [
+        shard.tree.total_entries + len(shard.buffer)
+        for shard in topology.shards
+    ]
 
 
 def _live_entries(engine: LSMEngine) -> list[Entry]:

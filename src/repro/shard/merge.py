@@ -1,10 +1,27 @@
 """Result merging for scatter-gather reads and deletes.
 
-Per-shard results arrive already sorted (every shard's scan and secondary
-lookup emit key-ascending lists); the cluster-level answer is a k-way
-merge. The partitioner guarantees each key lives on exactly one shard, so
-deduplication never fires in a healthy cluster — it exists as a safety
-net (and an assertion point) for routing bugs.
+The second half of every fan-out: shards answer independently, and this
+module folds their per-shard answers into the one result a single engine
+would have produced.
+
+* :func:`kway_merge` — merges per-shard *sorted* result lists (every
+  shard's ``scan`` and ``secondary_range_lookup`` emit key-ascending
+  lists) into one key-sorted list via a heap merge, ``O(R log k)`` for
+  ``R`` total results over ``k`` shards. The partitioner guarantees each
+  key lives on exactly one shard, so deduplication never fires in a
+  healthy cluster — it exists as a safety net (and an assertion point)
+  for routing bugs: on a misroute the lowest shard index wins and the
+  merged answer stays a function of the key.
+* :func:`combine_reports` — element-wise sum of per-shard
+  :class:`~repro.kiwi.range_delete.SecondaryDeleteReport`\\ s, producing
+  the cluster-wide page bill of a scatter-gather secondary range delete
+  (exactly the paper's per-tree cost model, times the fan-out).
+
+Order independence matters for parallel dispatch: both functions consume
+results *positionally* (the executor returns them in shard order
+regardless of completion order), so a pooled fan-out merges to the same
+bytes as the serial loop — the property the parallel equivalence tests
+pin down.
 """
 
 from __future__ import annotations

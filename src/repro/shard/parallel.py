@@ -1,0 +1,271 @@
+"""Parallel shard execution: pooled fan-out and the async ingest queue.
+
+PR 1's :class:`~repro.shard.engine.ShardedEngine` made per-shard *work*
+smaller but dispatched it with Python ``for`` loops, so the measured
+reduction never became wall-clock speedup. This module supplies the two
+missing pieces:
+
+* **Executors** — a :class:`ShardExecutor` strategy with two
+  implementations: :class:`SerialExecutor` (the original loop, still the
+  default) and :class:`PooledExecutor` (a shared thread pool). Every
+  multi-shard operation on the cluster (``scan``, ``secondary_range_
+  lookup``, ``secondary_range_delete``, ``flush``, ``force_full_
+  compaction``, idle checks, rebalance collection) builds one task per
+  shard and hands the list to the executor, which returns results in
+  shard order. Member trees share no mutable state except the cluster
+  clock (itself thread-safe, see :mod:`repro.core.clock`), and the
+  sharded engine serializes access to each member behind a per-shard
+  lock, so pooled dispatch needs no further coordination.
+
+* **The async ingest queue** — :class:`AsyncIngestQueue` turns the
+  router's per-shard batches into a bounded pipeline: one worker thread
+  per shard drains a depth-limited queue, so a hot shard lags behind its
+  backlog without stalling the rest of the stream, and the producer only
+  blocks when that hot shard is ``depth`` batches behind (backpressure
+  instead of unbounded memory). Barriers (multi-shard operations) call
+  :meth:`AsyncIngestQueue.drain` so they observe every earlier write —
+  the same ordering contract the serial path honours.
+
+Why threads help a GIL-bound interpreter at all: an LSM engine is
+I/O-bound, and I/O waits release the GIL. The simulated disk can inject
+*real* per-page device latency (``EngineConfig.real_io_seconds``), which
+it serves with ``time.sleep`` — exactly the wait a real storage stack
+would park on — so pooled fan-out overlaps the shards' device time the
+way a deployment overlaps requests to independent disks. The in-Python
+bookkeeping (merges, Bloom probes) stays serialized by the GIL; the
+``parallel_scaling`` experiment measures how much of the wall clock that
+leaves on the table.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import ConfigError
+
+
+class ShardExecutor(ABC):
+    """Strategy for dispatching one task per shard.
+
+    ``run`` takes zero-argument callables (one per participating shard)
+    and returns their results *in task order* — callers rely on result
+    position matching shard position for k-way merges and report sums.
+    The first task exception propagates to the caller.
+    """
+
+    @abstractmethod
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        """Execute every task; return results in task order."""
+
+    def close(self) -> None:
+        """Release any pooled resources (idempotent; no-op by default)."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class SerialExecutor(ShardExecutor):
+    """The original behaviour: run each shard's task in a plain loop.
+
+    Default because it is deterministic down to the interleaving of
+    clock ticks, adds zero overhead for single-shard clusters, and is
+    the right choice whenever per-shard work is pure CPU (the GIL would
+    serialize a pool anyway).
+    """
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        return [task() for task in tasks]
+
+
+class PooledExecutor(ShardExecutor):
+    """Fan shard tasks out to a shared :class:`ThreadPoolExecutor`.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width. ``None`` (default) sizes the pool to the widest
+        fan-out seen so far, so an 8-shard cluster gets 8 workers and
+        every shard's device wait overlaps.
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
+        self._requested = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._pool_width = 0
+        self._lock = threading.Lock()
+
+    def _pool_for(self, width: int) -> ThreadPoolExecutor:
+        """Current pool, grown to ``width`` if auto-sized. Caller holds
+        ``_lock`` — growth replaces the pool, and submitting under the
+        same lock is what keeps a concurrent ``run`` from holding a
+        just-shut-down pool reference."""
+        wanted = self._requested or max(width, 2)
+        if self._pool is None or (
+            self._requested is None and wanted > self._pool_width
+        ):
+            if self._pool is not None:
+                # No new submits can race us (they need _lock); let the
+                # old pool finish its in-flight work and retire without
+                # blocking the grower.
+                self._pool.shutdown(wait=False)
+            self._pool = ThreadPoolExecutor(
+                max_workers=wanted, thread_name_prefix="shard"
+            )
+            self._pool_width = wanted
+        return self._pool
+
+    def run(self, tasks: Sequence[Callable[[], Any]]) -> list[Any]:
+        if len(tasks) <= 1:
+            # No fan-out to overlap; skip the submit/wakeup round trip.
+            return [task() for task in tasks]
+        with self._lock:
+            pool = self._pool_for(len(tasks))
+            futures = [pool.submit(task) for task in tasks]
+        # Wait for EVERY task before propagating the first failure: the
+        # sharded engine's gate treats a returned fan-out as "no task in
+        # flight", so leaving stragglers running after an early raise
+        # would let a subsequent reshard race them.
+        wait(futures)
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+                self._pool_width = 0
+
+    def describe(self) -> str:
+        width = self._requested if self._requested is not None else "auto"
+        return f"PooledExecutor(max_workers={width})"
+
+
+def make_executor(spec: ShardExecutor | str | None) -> ShardExecutor:
+    """Resolve an executor choice: instance, name, or ``None`` (serial).
+
+    Accepts the strings ``"serial"`` and ``"pooled"`` so the choice can
+    be threaded through configs and the CLI without importing classes.
+    """
+    if spec is None:
+        return SerialExecutor()
+    if isinstance(spec, ShardExecutor):
+        return spec
+    if isinstance(spec, str):
+        name = spec.strip().lower()
+        if name == "serial":
+            return SerialExecutor()
+        if name == "pooled":
+            return PooledExecutor()
+        raise ConfigError(
+            f"unknown executor {spec!r}; expected 'serial' or 'pooled'"
+        )
+    raise ConfigError(f"cannot build an executor from {spec!r}")
+
+
+_STOP = object()
+
+
+class AsyncIngestQueue:
+    """Bounded per-shard pipeline between the router and the members.
+
+    One worker thread per shard pulls batches off a ``Queue(maxsize=
+    depth)`` and applies them through the shard's handler. The producer
+    (the thread iterating ``router.batches``) blocks **only** when the
+    shard it is enqueueing to is ``depth`` batches behind — other shards
+    keep receiving work, which is how a hot shard lags without stalling
+    the stream.
+
+    Ordering: batches for one shard are applied in enqueue order (one
+    FIFO queue, one worker per shard), which preserves per-key order —
+    the only order the router guarantees in the first place.
+
+    Errors: a handler exception is recorded, the worker keeps draining
+    (so the producer never deadlocks against a full queue), and the
+    exception re-raises on the next :meth:`enqueue`, :meth:`drain`, or
+    :meth:`close`. Batches behind a failed one on the same shard are
+    discarded — their writes may depend on the failed batch's state.
+    """
+
+    def __init__(
+        self, handlers: Sequence[Callable[[list], None]], depth: int = 4
+    ):
+        if depth < 1:
+            raise ConfigError(f"ingest queue depth must be >= 1, got {depth}")
+        if not handlers:
+            raise ConfigError("AsyncIngestQueue needs at least one handler")
+        self.depth = depth
+        self._queues: list[queue.Queue] = [
+            queue.Queue(maxsize=depth) for _ in handlers
+        ]
+        self._errors: list[BaseException | None] = [None] * len(handlers)
+        self._closed = False
+        self._threads = [
+            threading.Thread(
+                target=self._worker,
+                args=(index, handler),
+                name=f"ingest-shard-{index}",
+                daemon=True,
+            )
+            for index, handler in enumerate(handlers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    def _worker(self, index: int, handler: Callable[[list], None]) -> None:
+        pending = self._queues[index]
+        while True:
+            item = pending.get()
+            try:
+                if item is _STOP:
+                    return
+                if self._errors[index] is None:
+                    handler(item)
+            except BaseException as exc:  # noqa: BLE001 - re-raised to producer
+                self._errors[index] = exc
+            finally:
+                pending.task_done()
+
+    def _raise_pending(self) -> None:
+        for error in self._errors:
+            if error is not None:
+                raise error
+
+    def enqueue(self, shard: int, operations: list) -> None:
+        """Queue one batch for ``shard``; blocks at ``depth`` backlog."""
+        if self._closed:
+            raise ConfigError("enqueue on a closed AsyncIngestQueue")
+        self._raise_pending()
+        self._queues[shard].put(operations)
+
+    def drain(self) -> None:
+        """Block until every queued batch has been applied (a barrier)."""
+        for pending in self._queues:
+            pending.join()
+        self._raise_pending()
+
+    def backlog(self) -> list[int]:
+        """Approximate queued batches per shard (monitoring/tests)."""
+        return [pending.qsize() for pending in self._queues]
+
+    def close(self) -> None:
+        """Stop the workers and re-raise any pending handler error."""
+        if self._closed:
+            return
+        self._closed = True
+        for pending in self._queues:
+            pending.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        self._raise_pending()
+
+    def __enter__(self) -> "AsyncIngestQueue":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

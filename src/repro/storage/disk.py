@@ -15,6 +15,7 @@ page to the file system" full-page drops (§4.2.2) have a concrete target.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.errors import StorageError
@@ -45,13 +46,34 @@ class SimulatedDisk:
     cache:
         Optional block cache; query-path page reads go through
         :meth:`read_cached` and are only charged on a miss.
+    real_io_seconds:
+        Wall-clock seconds slept per charged page (default 0: purely
+        simulated accounting). When set, each charge sleeps once for the
+        whole page count — the device wait of a real storage stack. The
+        sleep releases the GIL, which is what lets pooled shard execution
+        overlap independent shards' I/O. Mutable at runtime so a bench can
+        preload at zero latency and then switch the device model on.
     """
 
-    def __init__(self, stats: Statistics | None = None, cache=None):
+    def __init__(
+        self,
+        stats: Statistics | None = None,
+        cache=None,
+        real_io_seconds: float = 0.0,
+    ):
+        if real_io_seconds < 0:
+            raise StorageError(
+                f"real_io_seconds must be >= 0, got {real_io_seconds}"
+            )
         self.stats = stats if stats is not None else Statistics()
         self.cache = cache
+        self.real_io_seconds = real_io_seconds
         self._extents: dict[int, FileExtent] = {}
         self._next_file_id = 0
+
+    def _device_wait(self, pages: int) -> None:
+        if self.real_io_seconds > 0.0 and pages > 0:
+            time.sleep(pages * self.real_io_seconds)
 
     # ------------------------------------------------------------------
     # Allocation
@@ -104,12 +126,14 @@ class SimulatedDisk:
         if pages < 0:
             raise StorageError(f"negative read ({pages} pages)")
         self.stats.pages_read += pages
+        self._device_wait(pages)
 
     def charge_write(self, pages: int = 1) -> None:
         """Account for writing ``pages`` pages."""
         if pages < 0:
             raise StorageError(f"negative write ({pages} pages)")
         self.stats.pages_written += pages
+        self._device_wait(pages)
 
     def read_cached(self, page_uid: int) -> bool:
         """Query-path page read through the block cache.
@@ -123,6 +147,7 @@ class SimulatedDisk:
         if self.cache is not None:
             self.stats.cache_misses += 1
         self.stats.pages_read += 1
+        self._device_wait(1)
         return False
 
     # ------------------------------------------------------------------

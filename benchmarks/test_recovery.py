@@ -1,0 +1,55 @@
+"""Bench for durable recovery: restart cost vs checkpoints and WAL tail.
+
+Expected shape: checkpoints compact the manifest, so the records a
+restart scans fall monotonically as the checkpoint interval shrinks,
+while the loaded tree (blob count) is interval-invariant; and with the
+tree held fixed, recovery time grows with the length of the un-flushed
+WAL tail that must be replayed — the two levers §4.1.5's persistence
+story gives an operator. Recovered engines are read-checked against the
+engines they replace inside the driver, so a passing run is also a
+correctness run.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE
+
+from benchmarks.conftest import emit
+
+
+def test_recovery_cost_shape(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.recovery_experiment(BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    intervals = result.series["intervals"]
+    assert intervals["checkpoint_interval"][0] == 0
+    assert (
+        intervals["checkpoint_interval"][1] > intervals["checkpoint_interval"][2]
+    )
+
+    # Checkpoints bound what a restart must scan: strictly fewer manifest
+    # records as the interval shrinks (0 = never checkpoints at all).
+    records = intervals["manifest_records"]
+    assert records[0] > records[1] > records[2], (
+        f"manifest records should fall with checkpoint frequency: {records}"
+    )
+
+    # A comparable tree is loaded whichever way it was checkpointed.
+    assert all(count > 0 for count in intervals["files_loaded"])
+
+    # Recovery always produced a live, timed engine.
+    assert all(seconds > 0 for seconds in intervals["recovery_seconds"])
+
+    tail = result.series["wal_tail"]
+    assert tail["wal_records_replayed"] == tail["wal_tail"], (
+        "the WAL tail must replay exactly, record for record"
+    )
+    # Replay cost is linear-ish in the tail; at minimum, a 1000-record
+    # tail must cost measurably more than an empty one.
+    assert tail["recovery_seconds"][-1] > tail["recovery_seconds"][0], (
+        f"replaying {tail['wal_tail'][-1]} records should cost more than "
+        f"replaying none: {tail['recovery_seconds']}"
+    )

@@ -49,6 +49,7 @@ from repro.core.errors import (
     KeyWeavingError,
     LetheError,
     PageFullError,
+    PersistenceError,
     StorageError,
     TuningError,
     WALError,
@@ -70,6 +71,12 @@ from repro.shard.parallel import (
 )
 from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.storage.entry import Entry, EntryKind, RangeTombstone
+from repro.storage.persist import (
+    CrashPoint,
+    DurableStore,
+    FaultInjector,
+    SimulatedCrash,
+)
 from repro.workloads.generator import WorkloadGenerator
 from repro.workloads.multi_tenant import (
     MultiTenantSpec,
@@ -86,10 +93,13 @@ __all__ = [
     "CompactionError",
     "CompactionTrigger",
     "ConfigError",
+    "CrashPoint",
     "DeleteKeyMode",
+    "DurableStore",
     "EngineConfig",
     "Entry",
     "EntryKind",
+    "FaultInjector",
     "FileSelectionMode",
     "HashPartitioner",
     "KeyWeavingError",
@@ -100,6 +110,7 @@ __all__ = [
     "MultiTenantWorkload",
     "PageFullError",
     "Partitioner",
+    "PersistenceError",
     "PooledExecutor",
     "RangePartitioner",
     "RangeTombstone",
@@ -107,6 +118,7 @@ __all__ = [
     "ShardExecutor",
     "ShardedEngine",
     "SimulatedClock",
+    "SimulatedCrash",
     "Statistics",
     "StorageError",
     "TenantSpec",

@@ -43,6 +43,7 @@ _STANDALONE = {
     "table2": lambda scale, executor: ex.table2_cost_model(),
     "shard": lambda scale, executor: ex.shard_scaling(scale, executor=executor),
     "parallel": lambda scale, executor: ex.parallel_scaling(scale),
+    "recovery": lambda scale, executor: ex.recovery_experiment(scale),
 }
 
 
@@ -79,8 +80,8 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel), "
-        "'all', or 'list'",
+        help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
+        "recovery), 'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",

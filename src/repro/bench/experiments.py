@@ -29,6 +29,7 @@ from repro.bench.harness import (
 )
 from repro.bench.reporting import format_series, format_table, ratio_summary
 from repro.core.config import FileSelectionMode, lethe_config
+from repro.core.engine import LSMEngine
 from repro.shard.engine import ShardedEngine
 from repro.shard.partitioner import HashPartitioner, RangePartitioner
 from repro.workloads.multi_tenant import MultiTenantSpec, MultiTenantWorkload
@@ -1122,5 +1123,196 @@ def parallel_scaling(
             "queued_ingest_wall": queued_ingest_wall,
             "ingest_speedup": ingest_speedup,
         },
+        report=report,
+    )
+
+
+# ======================================================================
+# Recovery: durable restart cost vs WAL length and checkpoint interval
+# ======================================================================
+
+
+def recovery_experiment(
+    scale: ExperimentScale = BENCH_SCALE,
+    checkpoint_intervals: tuple[int, ...] | None = None,
+    wal_tail_lengths: tuple[int, ...] = (0, 256, 1000),
+    delete_fraction: float = 0.05,
+    repeats: int = 3,
+) -> ExperimentResult:
+    """Durable-engine restart cost (§4.1.5 made physical).
+
+    Two sweeps over the same delete-heavy workload:
+
+    * **Checkpoint interval** — ingest with a checkpoint every N
+      operations (0 = never) and time a full recovery. Checkpoints
+      compact the manifest log to one snapshot record, so the records a
+      restart must scan — and with them recovery latency — shrink as
+      checkpoints get more frequent; the tree blobs loaded are identical.
+    * **WAL tail length** — after a checkpointed preload (big buffer so
+      nothing flushes), leave exactly K un-flushed operations in the WAL
+      and time recovery: replay cost is linear in the tail.
+
+    Every recovered engine is read-checked against the engine it
+    replaces before its timing counts.
+    """
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    from repro.lsm.recovery import recover_engine
+
+    ingest_ops, _query_ops, runtime = workload_for(scale, delete_fraction)
+    d_th = max(0.05 * runtime, 1e-3)
+    if checkpoint_intervals is None:
+        # Derived from the stream length so the trailing (un-checkpointed)
+        # stretch shrinks with the interval at any scale — fixed intervals
+        # that happen to divide the op count make the sweep degenerate.
+        checkpoint_intervals = (
+            0,
+            max(1, round(0.4 * len(ingest_ops))),
+            max(1, round(0.05 * len(ingest_ops))),
+        )
+
+    def timed_recovery(path: str) -> tuple[float, "object"]:
+        # Recovery is not read-only (the D_th WAL rewrite and any SRD
+        # roll-forward persist their work), so each repeat recovers a
+        # pristine copy — otherwise repeat #1 cleans the store and the
+        # later, cheaper repeats misreport a true first restart.
+        best = float("inf")
+        info_engine = None
+        for _ in range(max(1, repeats)):
+            scratch = _tempfile.mkdtemp(prefix="lethe-recovery-")
+            try:
+                clone = f"{scratch}/db"
+                _shutil.copytree(path, clone)
+                started = time.perf_counter()
+                recovered = recover_engine(clone)
+                elapsed = time.perf_counter() - started
+                if elapsed < best:
+                    best = elapsed
+                    info_engine = recovered
+            finally:
+                _shutil.rmtree(scratch, ignore_errors=True)
+        return best, info_engine
+
+    def read_check(original: LSMEngine, recovered: LSMEngine) -> None:
+        sample = [op[1] for op in ingest_ops if op[0] == "put"][:: 97]
+        for key in sample:
+            assert recovered.get(key) == original.get(key), (
+                f"recovery diverged at key {key}"
+            )
+
+    interval_rows = []
+    interval_series = {
+        "checkpoint_interval": [],
+        "recovery_seconds": [],
+        "manifest_records": [],
+        "wal_records_replayed": [],
+        "files_loaded": [],
+    }
+    for interval in checkpoint_intervals:
+        workdir = _tempfile.mkdtemp(prefix="lethe-recovery-")
+        try:
+            path = f"{workdir}/db"
+            engine = LSMEngine.open(
+                path,
+                config=lethe_config(
+                    d_th, delete_tile_pages=4, **scale.engine_overrides()
+                ),
+            )
+            since_checkpoint = 0
+            for op in ingest_ops:
+                engine.ingest([op])
+                since_checkpoint += 1
+                if interval and since_checkpoint >= interval:
+                    engine.checkpoint()
+                    since_checkpoint = 0
+            seconds, recovered = timed_recovery(path)
+            read_check(engine, recovered)
+            info = recovered.last_recovery
+            interval_rows.append(
+                [
+                    interval or "never",
+                    info.manifest_records_read,
+                    info.files_loaded,
+                    info.wal_records_replayed,
+                    f"{seconds * 1e3:.1f}",
+                ]
+            )
+            interval_series["checkpoint_interval"].append(interval)
+            interval_series["recovery_seconds"].append(seconds)
+            interval_series["manifest_records"].append(
+                info.manifest_records_read
+            )
+            interval_series["wal_records_replayed"].append(
+                info.wal_records_replayed
+            )
+            interval_series["files_loaded"].append(info.files_loaded)
+        finally:
+            _shutil.rmtree(workdir, ignore_errors=True)
+
+    # --- WAL-tail sweep: a buffer big enough that the tail never flushes.
+    tail_rows = []
+    tail_series = {
+        "wal_tail": [],
+        "recovery_seconds": [],
+        "wal_records_replayed": [],
+    }
+    tail_overrides = dict(scale.engine_overrides())
+    tail_overrides["buffer_pages"] = max(
+        tail_overrides.get("buffer_pages", 16),
+        (max(wal_tail_lengths) // scale.page_entries) + 8,
+    )
+    preload = [op for op in ingest_ops if op[0] == "put"][: scale.num_inserts // 3]
+    for tail in wal_tail_lengths:
+        workdir = _tempfile.mkdtemp(prefix="lethe-recovery-")
+        try:
+            path = f"{workdir}/db"
+            engine = LSMEngine.open(
+                path,
+                config=lethe_config(d_th, delete_tile_pages=4, **tail_overrides),
+            )
+            engine.ingest(preload)
+            engine.checkpoint()  # tail starts empty
+            for index in range(tail):
+                engine.put(10**6 + index, f"tail-{index}", delete_key=index)
+            seconds, recovered = timed_recovery(path)
+            read_check(engine, recovered)
+            info = recovered.last_recovery
+            assert info.wal_records_replayed == tail, (
+                f"expected a {tail}-record WAL tail, replayed "
+                f"{info.wal_records_replayed}"
+            )
+            tail_rows.append(
+                [tail, info.wal_records_replayed, f"{seconds * 1e3:.1f}"]
+            )
+            tail_series["wal_tail"].append(tail)
+            tail_series["recovery_seconds"].append(seconds)
+            tail_series["wal_records_replayed"].append(
+                info.wal_records_replayed
+            )
+        finally:
+            _shutil.rmtree(workdir, ignore_errors=True)
+
+    report = (
+        format_table(
+            ["checkpoint every", "manifest records", "files loaded",
+             "WAL replayed", "recovery ms"],
+            interval_rows,
+            title=(
+                f"Recovery vs checkpoint interval "
+                f"({len(ingest_ops)} ops, {delete_fraction:.0%} deletes, "
+                f"best of {repeats})"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["WAL tail (ops)", "records replayed", "recovery ms"],
+            tail_rows,
+            title="Recovery vs un-flushed WAL length (checkpointed preload)",
+        )
+    )
+    return ExperimentResult(
+        figure="Recovery",
+        series={"intervals": interval_series, "wal_tail": tail_series},
         report=report,
     )

@@ -68,9 +68,20 @@ class LSMEngine:
     clock:
         Optional externally-owned clock (experiments share one clock
         between engines to compare them under identical timelines).
+    store:
+        Optional :class:`~repro.storage.persist.DurableStore`. When set,
+        every WAL append is mirrored to disk and every flush/compaction/
+        secondary-delete commits the tree state durably, so
+        :meth:`open` can rebuild an equivalent engine after a crash.
+        ``None`` (default) keeps the engine purely in-memory.
     """
 
-    def __init__(self, config: EngineConfig, clock: SimulatedClock | None = None):
+    def __init__(
+        self,
+        config: EngineConfig,
+        clock: SimulatedClock | None = None,
+        store=None,
+    ):
         self.config = config
         self.stats = Statistics()
         self.clock = clock or SimulatedClock(config.ingestion_rate)
@@ -83,7 +94,10 @@ class LSMEngine:
         self.buffer = MemoryBuffer(config.buffer_entries)
         self.tree = LSMTree(config, self.stats)
         self.manifest = Manifest()
-        self.wal = WriteAheadLog()
+        self._store = store
+        self.wal = WriteAheadLog(sink=store)
+        if store is not None:
+            store.attach(self)
         self._key_bounds: tuple[Any, Any] | None = None
         self._persistence_index: dict[tuple, PersistenceRecord] = {}
 
@@ -132,6 +146,30 @@ class LSMEngine:
         """Construct the state-of-the-art baseline engine."""
         return cls(rocksdb_config(**overrides))
 
+    @classmethod
+    def open(
+        cls,
+        path,
+        config: EngineConfig | None = None,
+        clock: SimulatedClock | None = None,
+        injector=None,
+    ) -> "LSMEngine":
+        """Open a durable engine at ``path``: recover it or create it.
+
+        An existing store is recovered from its manifest and WAL (see
+        :mod:`repro.lsm.recovery`); a fresh directory needs ``config``.
+        ``injector`` is the fault-injection hook the crash-test harness
+        uses to kill the durable backend at chosen write boundaries.
+        """
+        from repro.lsm.recovery import open_engine  # local to avoid cycle
+
+        return open_engine(path, config=config, clock=clock, injector=injector)
+
+    @property
+    def store(self):
+        """The attached durable store, or ``None`` for in-memory engines."""
+        return self._store
+
     # ------------------------------------------------------------------
     # Write path
     # ------------------------------------------------------------------
@@ -150,7 +188,7 @@ class LSMEngine:
             size=self.config.entry_size,
             write_time=now,
         )
-        self.wal.append(seqnum, key, is_tombstone=False, now=now)
+        self.wal.append(seqnum, key, is_tombstone=False, now=now, payload=entry)
         overwritten = self.buffer.get(key)
         if overwritten is not None and overwritten.is_tombstone:
             self._nullify_tombstone_record(("p", key, overwritten.seqnum), now)
@@ -179,7 +217,7 @@ class LSMEngine:
             size=self.config.tombstone_size,
             write_time=now,
         )
-        self.wal.append(seqnum, key, is_tombstone=True, now=now)
+        self.wal.append(seqnum, key, is_tombstone=True, now=now, payload=tombstone)
         record = self.stats.record_tombstone_insert(key, now)
         self._persistence_index[("p", key, seqnum)] = record
         self.buffer.put(tombstone)
@@ -199,7 +237,7 @@ class LSMEngine:
             size=2 * self.config.key_size + 1,
             write_time=now,
         )
-        self.wal.append(seqnum, start, is_tombstone=True, now=now)
+        self.wal.append(seqnum, start, is_tombstone=True, now=now, payload=tombstone)
         record = self.stats.record_tombstone_insert((start, end), now)
         self._persistence_index[("r", start, end, seqnum)] = record
         self.buffer.add_range_tombstone(tombstone)
@@ -215,13 +253,48 @@ class LSMEngine:
         """
         self.clock.tick()
         now = self.clock.now
-        self.buffer.purge_delete_key_range(d_lo, d_hi)
+        # Durable engines sequence the SRD and commit an *intent* record
+        # before touching anything: a crash anywhere inside the SRD then
+        # leaves a durable not-done entry that recovery rolls forward,
+        # and WAL replay can place the purge correctly in history.
+        srd_seq = None
+        if self._store is not None:
+            srd_seq = self.seq.next()
+            self._store.register_srd(srd_seq, d_lo, d_hi)
+            self._commit("srd-begin")
+        return self._apply_secondary_range_delete(d_lo, d_hi, now, srd_seq)
+
+    def _apply_secondary_range_delete(
+        self, d_lo: Any, d_hi: Any, now: float, srd_seq: int | None = None
+    ) -> SecondaryDeleteReport:
+        """The SRD body, also invoked (against the already-registered
+        intent, without creating a new one) by crash recovery's
+        roll-forward path. Idempotent: re-running it on a state where the
+        work partially or wholly happened only completes it."""
         if self.config.kiwi_enabled:
-            report = execute_secondary_range_delete(
-                self.tree, d_lo, d_hi, self.disk, self.stats, self.manifest
+            dropped: list[Entry] = list(
+                self.buffer.purge_delete_key_range(d_lo, d_hi)
             )
+            report = execute_secondary_range_delete(
+                self.tree,
+                d_lo,
+                d_hi,
+                self.disk,
+                self.stats,
+                self.manifest,
+                dropped_out=dropped,
+            )
+            self._suppress_resurrected_versions(dropped, now)
+            self._complete_srd(srd_seq)
+            self._commit("srd")
+            self._maybe_flush()
             return report
-        # Classic layout: flush whatever is buffered, then rewrite the tree.
+        # Classic layout: flush whatever is buffered, then rewrite the
+        # tree. The buffered entries are *not* pre-filtered: supersession
+        # must reach the merge (which resolves versions before the drop
+        # predicate applies), or purging a buffered newest version would
+        # resurrect an older on-disk one — the exact torn state a crash
+        # between the flush and the rewrite would otherwise expose.
         before_read = self.stats.pages_read
         before_written = self.stats.pages_written
         self.flush()
@@ -237,6 +310,8 @@ class LSMEngine:
                 e.delete_key is not None and d_lo <= e.delete_key < d_hi
             ),
         )
+        self._complete_srd(srd_seq)
+        self._commit("srd-classic")
         self.stats.secondary_range_deletes += 1
         report = SecondaryDeleteReport(
             pages_read=self.stats.pages_read - before_read,
@@ -245,6 +320,48 @@ class LSMEngine:
         self.stats.srd_pages_read += report.pages_read
         self.stats.srd_pages_written += report.pages_written
         return report
+
+    def _suppress_resurrected_versions(
+        self, dropped: list[Entry], now: float
+    ) -> None:
+        """Tombstone keys whose *newest* version a page drop purged.
+
+        KiWi purges by delete key, not by recency: when the newest
+        version of a key falls in the delete range but an older version
+        (with an out-of-range delete key) survives elsewhere in the tree
+        or buffer, that stale version would resurface on reads. Such keys
+        get a point tombstone through the ordinary write path (WAL'd, so
+        crash recovery preserves the suppression), which compaction
+        eventually persists like any other delete.
+        """
+        newest_dropped: dict[Any, int] = {}
+        for entry in dropped:
+            held = newest_dropped.get(entry.key)
+            if held is None or entry.seqnum > held:
+                newest_dropped[entry.key] = entry.seqnum
+        for key in sorted(newest_dropped):
+            survivor = self._lookup_entry_uncharged(key)
+            if (
+                survivor is None
+                or survivor.is_tombstone
+                or survivor.seqnum > newest_dropped[key]
+            ):
+                continue
+            seqnum = self.seq.next()
+            tombstone = Entry(
+                key=key,
+                seqnum=seqnum,
+                kind=EntryKind.TOMBSTONE,
+                size=self.config.tombstone_size,
+                write_time=now,
+            )
+            self.wal.append(
+                seqnum, key, is_tombstone=True, now=now, payload=tombstone
+            )
+            record = self.stats.record_tombstone_insert(key, now)
+            self._persistence_index[("p", key, seqnum)] = record
+            self.buffer.put(tombstone)
+            self.stats.point_tombstones_ingested += 1
 
     # ------------------------------------------------------------------
     # Read path
@@ -380,6 +497,10 @@ class LSMEngine:
         for produced in files:
             self.manifest.log_add(produced.meta.file_number, 1, reason="flush")
 
+        # Durable commit precedes the WAL purge: the manifest record that
+        # carries the new watermark (and the flushed files) must be on
+        # disk before the WAL segments it supersedes are deleted.
+        self._commit("flush", watermark=max(max_seq, self.wal.flushed_seqnum))
         if max_seq >= 0:
             self.wal.mark_flushed(max_seq)
         if self.config.fade_enabled and self.config.delete_persistence_threshold:
@@ -412,6 +533,7 @@ class LSMEngine:
             description="greedy L1 merge (pure leveling)",
         )
         self.executor.execute(self.tree, task, now)
+        self._commit("compaction")
 
     def _maybe_flush(self) -> None:
         if self.buffer.is_full:
@@ -426,6 +548,7 @@ class LSMEngine:
                 return executed
             self._expand_multi_run_source(task)
             self.executor.execute(self.tree, task, self.clock.now)
+            self._commit("compaction")
             executed += 1
         raise CompactionError(
             f"compaction loop did not converge in {_COMPACTION_LOOP_LIMIT} steps"
@@ -473,6 +596,10 @@ class LSMEngine:
             remaining -= step
             self.clock.advance(step)
             self.idle_check()
+        # Idle time leaves no WAL record; persist the clock so recovery
+        # does not travel back to the last write's timestamp.
+        if self._store is not None:
+            self._store.write_clock(self.clock.now)
 
     def idle_check(self) -> None:
         """One TTL-expiry/compaction check at the current simulated time.
@@ -488,6 +615,13 @@ class LSMEngine:
                 d0 = self.policy.level_ttls(height)[0]
                 if self.clock.now - oldest > d0:
                     self.flush()
+            # §4.1.5's WAL routine runs periodically, not only at flush:
+            # idle time must not leave any live log segment older than
+            # D_th (live records are copied forward, flushed ones drop).
+            if self.config.delete_persistence_threshold:
+                self.wal.enforce_persistence_threshold(
+                    self.clock.now, self.config.delete_persistence_threshold
+                )
         self.run_pending_compactions()
 
     def force_full_compaction(self) -> None:
@@ -502,6 +636,32 @@ class LSMEngine:
             self.clock.now,
             on_tombstone_persisted=self._on_tombstone_persisted,
         )
+        self._commit("full-compaction")
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def _commit(self, reason: str, watermark: int | None = None) -> None:
+        """Commit the current tree state durably (no-op without a store)."""
+        if self._store is not None:
+            self._store.commit(reason, watermark=watermark)
+
+    def _complete_srd(self, srd_seq: int | None) -> None:
+        if self._store is not None and srd_seq is not None:
+            self._store.complete_srd(srd_seq)
+
+    def checkpoint(self) -> None:
+        """Flush, then compact the durable manifest to one snapshot.
+
+        Bounds recovery time: after a checkpoint the WAL tail is empty up
+        to the watermark and the manifest is a single record. Requires a
+        durable store.
+        """
+        if self._store is None:
+            raise LetheError("checkpoint() requires a durable store")
+        self.flush()
+        self._store.checkpoint()
 
     # ------------------------------------------------------------------
     # Bulk loading convenience

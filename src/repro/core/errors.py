@@ -62,6 +62,15 @@ class KeyWeavingError(LetheError):
     """
 
 
+class PersistenceError(StorageError):
+    """Raised on durable-backend contract violations.
+
+    Examples: opening a directory that holds no recoverable manifest,
+    loading a run blob whose header names an unknown layout, or recovering
+    state written for a different engine configuration.
+    """
+
+
 class TuningError(LetheError):
     """Raised when a tuning computation has no feasible solution.
 

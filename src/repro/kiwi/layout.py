@@ -141,12 +141,16 @@ class KiWiFile(RunFile):
             partial_total += len(partial)
         return full_total, partial_total
 
-    def apply_secondary_delete(self, d_lo: Any, d_hi: Any) -> int:
+    def apply_secondary_delete(
+        self, d_lo: Any, d_hi: Any, dropped_out: list[Entry] | None = None
+    ) -> int:
         """Execute a secondary range delete on this file; returns entries dropped.
 
         Walks every tile; full page drops shrink the disk extent with no
         I/O, partial drops read+rewrite the boundary pages (§4.2.2). File
-        metadata is recomputed from the surviving pages.
+        metadata is recomputed from the surviving pages. ``dropped_out``
+        collects the dropped entries for the engine's version-shadowing
+        check (see :meth:`DeleteTile.apply_secondary_delete`).
         """
         dropped_total = 0
         dropped_bytes = 0
@@ -155,7 +159,7 @@ class KiWiFile(RunFile):
         before_bytes = self.size_bytes
         for tile in self._tiles:
             dropped, _full, _partial = tile.apply_secondary_delete(
-                d_lo, d_hi, self._disk, self._stats
+                d_lo, d_hi, self._disk, self._stats, dropped_out=dropped_out
             )
             dropped_total += dropped
         # Rebuild fences even when every tile emptied: a file kept alive

@@ -45,12 +45,15 @@ def execute_secondary_range_delete(
     disk: SimulatedDisk,
     stats: Statistics,
     manifest: Manifest,
+    dropped_out: list | None = None,
 ) -> SecondaryDeleteReport:
     """Apply ``delete all entries with D in [d_lo, d_hi)`` tile by tile.
 
     Every file must be a :class:`KiWiFile`; classic-layout files cannot
     locate qualifying entries and must go through full-tree compaction
-    instead (the engine routes accordingly).
+    instead (the engine routes accordingly). ``dropped_out`` collects the
+    dropped entries so the engine can suppress older versions that would
+    otherwise resurface (page drops purge by delete key, not by recency).
     """
     if not d_lo < d_hi:
         raise ValueError(f"empty delete range [{d_lo!r}, {d_hi!r})")
@@ -67,7 +70,9 @@ def execute_secondary_range_delete(
                 "secondary range delete via page drops requires the KiWi "
                 f"layout; found {type(run_file).__name__}"
             )
-        report.entries_dropped += run_file.apply_secondary_delete(d_lo, d_hi)
+        report.entries_dropped += run_file.apply_secondary_delete(
+            d_lo, d_hi, dropped_out=dropped_out
+        )
         if run_file.is_empty:
             emptied.append(run_file)
 

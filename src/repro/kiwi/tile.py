@@ -105,6 +105,46 @@ class DeleteTile:
         self._rebuild_delete_fences()
         self._check_weave_invariant()
 
+    @classmethod
+    def from_pages(
+        cls,
+        page_entry_lists: list[list[Entry]],
+        page_entries: int,
+        bits_per_key: float,
+        stats: Statistics,
+        min_key: Any,
+        max_key: Any,
+    ) -> "DeleteTile":
+        """Rebuild a tile from its exact physical pages (crash recovery).
+
+        The normal constructor *weaves* an ``S``-sorted slice into pages;
+        after partial page drops the surviving pages are ragged and
+        reweaving would change the physical layout. This path installs the
+        recorded pages verbatim (each already ``S``-sorted internally and
+        ``D``-ordered across pages), rebuilds the per-page Bloom filters
+        and delete fences, and restores the construction-time ``S`` bounds
+        (which page drops never narrow).
+        """
+        if not page_entry_lists:
+            raise KeyWeavingError("a delete tile needs at least one page")
+        tile = cls.__new__(cls)
+        tile._stats = stats
+        tile._min_key = min_key
+        tile._max_key = max_key
+        tile._pages = [
+            Page(page_entries, chunk).seal() for chunk in page_entry_lists
+        ]
+        tile._blooms = [
+            BloomFilter.from_keys(
+                (e.key for e in page), bits_per_key, stats=stats
+            )
+            for page in tile._pages
+        ]
+        tile._bits_per_key = bits_per_key
+        tile._rebuild_delete_fences()
+        tile._check_weave_invariant()
+        return tile
+
     # ------------------------------------------------------------------
     # Invariants & metadata
     # ------------------------------------------------------------------
@@ -238,7 +278,12 @@ class DeleteTile:
         return self._delete_fences.classify(d_lo, d_hi)
 
     def apply_secondary_delete(
-        self, d_lo: Any, d_hi: Any, disk: SimulatedDisk, stats: Statistics
+        self,
+        d_lo: Any,
+        d_hi: Any,
+        disk: SimulatedDisk,
+        stats: Statistics,
+        dropped_out: list[Entry] | None = None,
     ) -> tuple[int, int, int]:
         """Drop/rewrite pages for a secondary range delete.
 
@@ -246,6 +291,12 @@ class DeleteTile:
         drops cost no I/O (the page is released to the file system);
         partial drops read the boundary page, filter it "with a tight
         for-loop", and write the survivors back (§4.2.2).
+
+        ``dropped_out``, when given, collects the dropped entries — the
+        engine uses them to detect keys whose *newest* version was purged
+        while an older version survives elsewhere in the tree (such keys
+        must read as deleted, not resurrect). Collecting them is free
+        in-memory bookkeeping, not page I/O.
         """
         full, partial = self.classify_pages(d_lo, d_hi)
         dropped_entries = 0
@@ -261,6 +312,8 @@ class DeleteTile:
                 dropped_entries += len(page)
                 full_drops += 1
                 stats.pages_dropped_full += 1
+                if dropped_out is not None:
+                    dropped_out.extend(page)
                 continue
             if index in partial_set:
                 disk.charge_read(1)
@@ -271,6 +324,11 @@ class DeleteTile:
                     if e.delete_key is None or not (d_lo <= e.delete_key < d_hi)
                 ]
                 removed = len(page) - len(keep)
+                if dropped_out is not None and removed:
+                    kept_ids = {id(e) for e in keep}
+                    dropped_out.extend(
+                        e for e in page if id(e) not in kept_ids
+                    )
                 if removed == 0:
                     # The fence span intersected but no entry actually
                     # qualified (e.g. a gap, or a None-bounds page): the

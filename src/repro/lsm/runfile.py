@@ -37,6 +37,18 @@ def next_file_number() -> int:
     return next(_file_counter)
 
 
+def ensure_file_numbers_above(minimum: int) -> None:
+    """Advance the counter past ``minimum`` (crash-recovery path).
+
+    A recovered tree re-installs files under their original numbers; new
+    files built afterwards must not collide with them. Gaps are fine —
+    only uniqueness and monotonicity matter.
+    """
+    global _file_counter
+    current = next(_file_counter)
+    _file_counter = itertools.count(max(current, minimum + 1))
+
+
 @dataclass
 class FileMeta:
     """Per-file metadata kept in memory (never costs I/O to consult).

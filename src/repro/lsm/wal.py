@@ -7,10 +7,16 @@ WALs that are older than D_th, copies all live records to a new WAL, and
 discards the records in the older WAL that made it to the disk". This
 module implements both the ordinary flush-driven purge and that routine.
 
-The WAL here is an accounting structure (the simulated disk has no
-durability to protect), but it preserves the paper's invariant that no
-tombstone older than ``D_th`` survives in any log segment — tested in the
-suite as part of the persistence-guarantee property.
+The WAL started as an accounting structure; since the durable backend
+(:mod:`repro.storage.persist`) arrived it is also the engine's redo log:
+each record may carry the full operation payload (the buffered
+:class:`~repro.storage.entry.Entry` or
+:class:`~repro.storage.entry.RangeTombstone`), and an optional *sink*
+mirrors every segment event — append, purge, D_th rewrite — to disk so a
+restart can replay the un-flushed tail. Either way the module preserves
+the paper's invariant that no tombstone older than ``D_th`` survives in
+any log segment — tested in the suite as part of the
+persistence-guarantee property, including across crash recovery.
 """
 
 from __future__ import annotations
@@ -23,12 +29,18 @@ from repro.core.errors import WALError
 
 @dataclass(frozen=True)
 class WALRecord:
-    """One logged operation."""
+    """One logged operation.
+
+    ``payload`` is the full buffered record (an ``Entry`` or a
+    ``RangeTombstone``) when the engine runs durably; accounting-only WALs
+    may leave it ``None``.
+    """
 
     seqnum: int
     key: Any
     is_tombstone: bool
     written_at: float
+    payload: Any = None
 
 
 @dataclass
@@ -49,12 +61,22 @@ class WALSegment:
 
 
 class WriteAheadLog:
-    """Segmented WAL with flush-driven purge and the ``D_th`` routine."""
+    """Segmented WAL with flush-driven purge and the ``D_th`` routine.
 
-    def __init__(self, segment_capacity: int = 4096):
+    ``sink``, when set, is notified of every durable-relevant event:
+    ``wal_append(segment, record)`` after a record lands in a segment,
+    ``wal_purge(segment_ids)`` when flushed segments are discarded, and
+    ``wal_rewrite(fresh_segment, dropped_ids)`` when the D_th routine
+    copies live records to a new segment. The
+    :class:`~repro.storage.persist.DurableStore` implements this protocol;
+    accounting-only engines leave it ``None``.
+    """
+
+    def __init__(self, segment_capacity: int = 4096, sink: Any = None):
         if segment_capacity < 1:
             raise WALError(f"segment capacity must be >= 1, got {segment_capacity}")
         self.segment_capacity = segment_capacity
+        self.sink = sink
         self._segments: list[WALSegment] = []
         self._next_segment_id = 0
         self._flushed_seqnum = -1
@@ -65,7 +87,14 @@ class WriteAheadLog:
     # Append path
     # ------------------------------------------------------------------
 
-    def append(self, seqnum: int, key: Any, is_tombstone: bool, now: float) -> None:
+    def append(
+        self,
+        seqnum: int,
+        key: Any,
+        is_tombstone: bool,
+        now: float,
+        payload: Any = None,
+    ) -> None:
         """Log one operation before it is applied to the memory buffer."""
         if seqnum <= self._flushed_seqnum:
             raise WALError(
@@ -75,9 +104,17 @@ class WriteAheadLog:
         if not self._segments or len(self._segments[-1].records) >= self.segment_capacity:
             self._segments.append(WALSegment(self._next_segment_id, opened_at=now))
             self._next_segment_id += 1
-        self._segments[-1].records.append(
-            WALRecord(seqnum=seqnum, key=key, is_tombstone=is_tombstone, written_at=now)
+        segment = self._segments[-1]
+        record = WALRecord(
+            seqnum=seqnum,
+            key=key,
+            is_tombstone=is_tombstone,
+            written_at=now,
+            payload=payload,
         )
+        segment.records.append(record)
+        if self.sink is not None:
+            self.sink.wal_append(segment, record)
 
     # ------------------------------------------------------------------
     # Purge paths
@@ -95,12 +132,16 @@ class WriteAheadLog:
             )
         self._flushed_seqnum = seqnum
         survivors = []
+        purged_ids = []
         for segment in self._segments:
             if segment.max_seqnum <= seqnum and segment.records:
                 self.segments_purged += 1
+                purged_ids.append(segment.segment_id)
             else:
                 survivors.append(segment)
         self._segments = survivors
+        if purged_ids and self.sink is not None:
+            self.sink.wal_purge(purged_ids)
 
     def enforce_persistence_threshold(self, now: float, d_th: float) -> int:
         """The FADE WAL routine: no live segment may be older than ``D_th``.
@@ -127,6 +168,11 @@ class WriteAheadLog:
             keep.append(fresh)
         self._segments = keep
         self.segments_purged += len(over_age)
+        if self.sink is not None:
+            self.sink.wal_rewrite(
+                fresh if fresh.records else None,
+                [s.segment_id for s in over_age],
+            )
         return len(over_age)
 
     # ------------------------------------------------------------------
@@ -136,6 +182,28 @@ class WriteAheadLog:
     @property
     def segments(self) -> tuple[WALSegment, ...]:
         return tuple(self._segments)
+
+    @property
+    def flushed_seqnum(self) -> int:
+        """The flush watermark: records at or below it are on disk."""
+        return self._flushed_seqnum
+
+    def restore_segments(
+        self, segments: list[WALSegment], flushed_seqnum: int, next_segment_id: int
+    ) -> None:
+        """Install recovered segments wholesale (crash-recovery path).
+
+        Bypasses the append-path watermark check: recovered segments may
+        legitimately contain records at or below the watermark (a segment
+        survives whole while any of its records is un-flushed).
+        """
+        if next_segment_id <= max(
+            (s.segment_id for s in segments), default=-1
+        ):
+            raise WALError("next_segment_id collides with a recovered segment")
+        self._segments = list(segments)
+        self._flushed_seqnum = flushed_seqnum
+        self._next_segment_id = next_segment_id
 
     @property
     def live_records(self) -> int:

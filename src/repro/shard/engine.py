@@ -52,18 +52,29 @@ points, never nested (a barrier inside ``ingest`` releases and
 re-acquires through the public method it dispatches), because the
 writer-preferring gate would deadlock a reader that re-enters while a
 writer waits.
+
+Durability (since PR 3): constructing with ``store_path`` gives every
+member engine a :class:`~repro.storage.persist.DurableStore` under a
+private subdirectory and commits the cluster topology to an append-only
+``TOPOLOGY.log``; :meth:`ShardedEngine.open` recovers the whole cluster,
+and :meth:`split`/:meth:`rebalance` are crash-atomic (migrate into new
+directories, publish one topology record, only then delete the retired
+ones). See ``docs/durability.md``.
 """
 
 from __future__ import annotations
 
+import json
+import shutil
 import threading
 from contextlib import ExitStack, contextmanager
+from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.core.clock import SimulatedClock
 from repro.core.config import EngineConfig
 from repro.core.engine import LSMEngine
-from repro.core.errors import ConfigError, LetheError
+from repro.core.errors import ConfigError, LetheError, PersistenceError
 from repro.core.stats import Statistics
 from repro.kiwi.range_delete import SecondaryDeleteReport
 from repro.shard.merge import combine_reports, kway_merge
@@ -71,11 +82,35 @@ from repro.shard.parallel import AsyncIngestQueue, ShardExecutor, make_executor
 from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
 from repro.shard.router import Barrier, OperationRouter, ShardBatch
 from repro.storage.entry import Entry
+from repro.storage.persist import (
+    DurableStore,
+    FaultInjector,
+    frame_bytes,
+    read_frames,
+)
 
 # Queue bound used when ``ingest(..., pipelined=True)`` is requested on a
 # cluster constructed with ``ingest_queue_depth=0`` (i.e. pipelining was
 # not pre-configured but is explicitly asked for on this call).
 DEFAULT_PIPELINE_DEPTH = 4
+
+
+def _partitioner_to_dict(partitioner: Partitioner) -> dict:
+    if isinstance(partitioner, HashPartitioner):
+        return {"kind": "hash", "n_shards": partitioner.n_shards}
+    if isinstance(partitioner, RangePartitioner):
+        return {"kind": "range", "split_points": list(partitioner.split_points)}
+    raise PersistenceError(
+        f"cannot persist partitioner type {type(partitioner).__name__}"
+    )
+
+
+def _partitioner_from_dict(payload: dict) -> Partitioner:
+    if payload["kind"] == "hash":
+        return HashPartitioner(payload["n_shards"])
+    if payload["kind"] == "range":
+        return RangePartitioner(payload["split_points"])
+    raise PersistenceError(f"unknown partitioner kind {payload['kind']!r}")
 
 
 class _Topology:
@@ -181,6 +216,19 @@ class ShardedEngine:
         When > 0, :meth:`ingest` pipelines per-shard batches through an
         :class:`~repro.shard.parallel.AsyncIngestQueue` bounded at this
         many batches per shard; 0 (default) keeps the synchronous path.
+    store_path:
+        When set, the cluster is durable: each member engine gets a
+        :class:`~repro.storage.persist.DurableStore` under a private
+        subdirectory, and the cluster topology (partitioner kind, split
+        points, shard directories) is committed to an append-only
+        ``TOPOLOGY.log`` whose last intact record is authoritative —
+        :meth:`split`/:meth:`rebalance` migrate into *new* directories
+        and publish the swap as one record, so a crash mid-reshard
+        recovers the old consistent cluster. Reopen with :meth:`open`.
+    injector:
+        Fault-injection hook shared by every member store and the
+        topology log (the crash-test harness counts cluster-wide write
+        boundaries through it).
     """
 
     def __init__(
@@ -193,6 +241,9 @@ class ShardedEngine:
         max_batch: int = 1024,
         executor: ShardExecutor | str | None = None,
         ingest_queue_depth: int = 0,
+        store_path: str | Path | None = None,
+        injector: FaultInjector | None = None,
+        _members: Sequence[LSMEngine] | None = None,
     ):
         if (n_shards is None) == (partitioner is None):
             raise ConfigError("pass exactly one of n_shards / partitioner")
@@ -216,14 +267,158 @@ class ShardedEngine:
                     f"{partitioner.n_shards} shards"
                 )
         self._gate = _TopologyGate()
-        self._topology = _Topology(
-            partitioner,
-            [LSMEngine(shard_config, clock=self.clock) for shard_config in configs],
-            max_batch,
-        )
+        self._store_path = Path(store_path) if store_path is not None else None
+        self._injector = injector if injector is not None else FaultInjector(armed=False)
+        self._epoch = 0
+        self._dir_seq = 0
+        self._shard_dirs: list[str] = []
+        if _members is not None:
+            # Recovery path (ShardedEngine.open): members arrive prebuilt.
+            self._topology = _Topology(partitioner, list(_members), max_batch)
+        elif self._store_path is None:
+            self._topology = _Topology(
+                partitioner,
+                [LSMEngine(shard_config, clock=self.clock) for shard_config in configs],
+                max_batch,
+            )
+        else:
+            if (self._store_path / "TOPOLOGY.log").exists():
+                raise PersistenceError(
+                    f"{self._store_path} already holds a cluster; use "
+                    "ShardedEngine.open()"
+                )
+            self._store_path.mkdir(parents=True, exist_ok=True)
+            members = []
+            for shard_config in configs:
+                dirname = self._next_shard_dir()
+                store = DurableStore.create(
+                    self._store_path / dirname, shard_config, self._injector
+                )
+                members.append(
+                    LSMEngine(shard_config, clock=self.clock, store=store)
+                )
+                self._shard_dirs.append(dirname)
+            self._topology = _Topology(partitioner, members, max_batch)
+            self._append_topology(partitioner, self._shard_dirs)
         # Counters of shards retired by split/rebalance, so cluster totals
         # never go backwards when members are replaced.
         self._retired_stats = Statistics()
+
+    # ------------------------------------------------------------------
+    # Durable topology
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: str | Path,
+        max_batch: int = 1024,
+        executor: ShardExecutor | str | None = None,
+        ingest_queue_depth: int = 0,
+        injector: FaultInjector | None = None,
+    ) -> "ShardedEngine":
+        """Recover a durable cluster from its topology log.
+
+        Reads the last intact ``TOPOLOGY.log`` record, recovers every
+        member engine from its shard directory (manifest + WAL replay,
+        see :mod:`repro.lsm.recovery`) onto one shared clock advanced to
+        the latest recovered instant, and rebuilds the partitioner.
+        Shard directories not referenced by the record — orphans of a
+        reshard that crashed before its topology commit — are ignored
+        and removed.
+        """
+        from repro.lsm.recovery import recover_engine  # local to avoid cycle
+
+        root = Path(path)
+        log = root / "TOPOLOGY.log"
+        if not log.exists():
+            raise PersistenceError(f"{root} holds no cluster topology log")
+        blob = log.read_bytes()
+        records = [
+            json.loads(payload.decode("utf-8"))
+            for payload in read_frames(blob)
+        ]
+        if not records:
+            raise PersistenceError(f"{log} holds no intact topology record")
+        # A torn tail (real mid-write crash) must be truncated, not just
+        # skipped: _append_topology resumes at end-of-file, and a reshard
+        # record appended behind the damage would be unreadable to the
+        # next open — with the retired shard dirs already deleted.
+        DurableStore._truncate_torn_tail(log, blob, 0)
+        topology_record = records[-1]
+        partitioner = _partitioner_from_dict(topology_record["partitioner"])
+        shard_dirs = list(topology_record["shard_dirs"])
+
+        clock: SimulatedClock | None = None
+        members: list[LSMEngine] = []
+        for dirname in shard_dirs:
+            engine = recover_engine(root / dirname, clock=clock, injector=injector)
+            clock = engine.clock
+            members.append(engine)
+
+        cluster = cls(
+            members[0].config,
+            partitioner=partitioner,
+            clock=clock,
+            max_batch=max_batch,
+            executor=executor,
+            ingest_queue_depth=ingest_queue_depth,
+            injector=injector,
+            _members=members,
+        )
+        cluster._store_path = root
+        cluster._epoch = topology_record["epoch"] + 1
+        cluster._dir_seq = topology_record["dir_seq"]
+        cluster._shard_dirs = shard_dirs
+        for orphan in root.glob("shard-*"):
+            if orphan.is_dir() and orphan.name not in shard_dirs:
+                shutil.rmtree(orphan, ignore_errors=True)
+        return cluster
+
+    @property
+    def store_path(self) -> Path | None:
+        """The cluster's durable root directory, or ``None``."""
+        return self._store_path
+
+    def _next_shard_dir(self) -> str:
+        dirname = f"shard-{self._dir_seq:05d}"
+        self._dir_seq += 1
+        return dirname
+
+    def _append_topology(
+        self, partitioner: Partitioner, shard_dirs: list[str]
+    ) -> None:
+        """Append one topology record — the reshard commit point.
+
+        Callers append *before* publishing the new in-memory topology,
+        so a failed append (out of disk, injected crash) leaves memory
+        and disk agreeing on the old cluster — a cluster serving on a
+        topology the log does not name would lose every acknowledged
+        write at the next reopen.
+        """
+        record = {
+            "epoch": self._epoch,
+            "dir_seq": self._dir_seq,
+            "partitioner": _partitioner_to_dict(partitioner),
+            "shard_dirs": list(shard_dirs),
+        }
+        self._injector.before_write("topology")
+        with open(self._store_path / "TOPOLOGY.log", "ab") as handle:
+            handle.write(
+                frame_bytes(json.dumps(record, sort_keys=True).encode("utf-8"))
+            )
+            handle.flush()
+        self._epoch += 1
+
+    def checkpoint(self) -> None:
+        """Checkpoint every member store (flush + manifest snapshot)."""
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.checkpoint(),
+            )
 
     # ------------------------------------------------------------------
     # Topology access
@@ -392,6 +587,12 @@ class ShardedEngine:
                     topology.partitioner.all_shards(),
                     lambda shard: shard.idle_check(),
                 )
+            # Idle time leaves no per-shard WAL record; persist the
+            # shared clock on every durable member (cluster analogue of
+            # LSMEngine.advance_time's clock write).
+            for shard in topology.shards:
+                if shard.store is not None:
+                    shard.store.write_clock(self.clock.now)
 
     def force_full_compaction(self) -> None:
         with self._gate.shared():
@@ -542,8 +743,22 @@ class ShardedEngine:
             survivors = _live_entries(retiring)
             self._retired_stats.merge(retiring.stats)
 
-            left = LSMEngine(retiring.config, clock=self.clock)
-            right = LSMEngine(retiring.config, clock=self.clock)
+            # Durable clusters migrate into *new* shard directories; the
+            # retiring directory stays intact until the topology record
+            # commits, so a crash anywhere in the migration recovers the
+            # old cluster unharmed.
+            left_store = right_store = None
+            new_dirs: list[str] = []
+            if self._store_path is not None:
+                new_dirs = [self._next_shard_dir(), self._next_shard_dir()]
+                left_store = DurableStore.create(
+                    self._store_path / new_dirs[0], retiring.config, self._injector
+                )
+                right_store = DurableStore.create(
+                    self._store_path / new_dirs[1], retiring.config, self._injector
+                )
+            left = LSMEngine(retiring.config, clock=self.clock, store=left_store)
+            right = LSMEngine(retiring.config, clock=self.clock, store=right_store)
             # Migrate into the fresh engines before publishing them: the
             # new members enter the topology fully populated.
             for entry in survivors:
@@ -554,11 +769,26 @@ class ShardedEngine:
                 + [left, right]
                 + topology.shards[shard_index + 1 :]
             )
+            new_partitioner = partitioner.with_split(split_key)
+            # Durable commit point first, then the in-memory swap: once
+            # the record is down, memory and disk flip to the new cluster
+            # together; if the append fails, both keep the old one.
+            if self._store_path is not None:
+                retired_dir = self._shard_dirs[shard_index]
+                new_shard_dirs = (
+                    self._shard_dirs[:shard_index]
+                    + new_dirs
+                    + self._shard_dirs[shard_index + 1 :]
+                )
+                self._append_topology(new_partitioner, new_shard_dirs)
+                self._shard_dirs = new_shard_dirs
             self._topology = _Topology(
-                partitioner.with_split(split_key),
+                new_partitioner,
                 new_shards,
                 topology.router.max_batch,
             )
+            if self._store_path is not None:
+                shutil.rmtree(self._store_path / retired_dir, ignore_errors=True)
         return shard_index, shard_index + 1
 
     def rebalance(self) -> list[Any]:
@@ -600,18 +830,35 @@ class ShardedEngine:
             new_partitioner = RangePartitioner.from_keys(
                 [entry.key for entry in survivors], n_shards
             )
-            new_shards = [
-                LSMEngine(shard.config, clock=self.clock)
-                for shard in topology.shards
-            ]
+            new_dirs: list[str] = []
+            new_shards: list[LSMEngine] = []
+            for shard in topology.shards:
+                store = None
+                if self._store_path is not None:
+                    dirname = self._next_shard_dir()
+                    new_dirs.append(dirname)
+                    store = DurableStore.create(
+                        self._store_path / dirname, shard.config, self._injector
+                    )
+                new_shards.append(
+                    LSMEngine(shard.config, clock=self.clock, store=store)
+                )
             # Migrate before publishing, as in split().
             for entry in survivors:
                 new_shards[new_partitioner.shard_for(entry.key)].put(
                     entry.key, entry.value, delete_key=entry.delete_key
                 )
+            # Commit point before the in-memory swap, as in split().
+            retired_dirs: list[str] = []
+            if self._store_path is not None:
+                retired_dirs = self._shard_dirs
+                self._append_topology(new_partitioner, new_dirs)
+                self._shard_dirs = new_dirs
             self._topology = _Topology(
                 new_partitioner, new_shards, topology.router.max_batch
             )
+            for dirname in retired_dirs:
+                shutil.rmtree(self._store_path / dirname, ignore_errors=True)
             return list(new_partitioner.split_points)
 
     def _require_range_partitioner(

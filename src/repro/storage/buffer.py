@@ -142,20 +142,23 @@ class MemoryBuffer:
         times += [rt.write_time for rt in self._range_tombstones]
         return min(times) if times else None
 
-    def purge_delete_key_range(self, d_lo: Any, d_hi: Any) -> int:
+    def purge_delete_key_range(self, d_lo: Any, d_hi: Any) -> list[Entry]:
         """Drop buffered entries whose delete key falls in ``[d_lo, d_hi)``.
 
         The in-memory half of a secondary range delete — buffered data has
-        not reached any layout yet, so it is simply filtered.
+        not reached any layout yet, so it is simply filtered. Returns the
+        purged entries: the engine must know which keys lost their newest
+        version, because an older on-disk version of such a key would
+        otherwise resurface on reads.
         """
         victims = [
-            key
-            for key, entry in self._table.items()
+            entry
+            for entry in self._table.values()
             if entry.delete_key is not None and d_lo <= entry.delete_key < d_hi
         ]
-        for key in victims:
-            del self._table[key]
-        return len(victims)
+        for entry in victims:
+            del self._table[entry.key]
+        return victims
 
     def scan_delete_key_range(self, d_lo: Any, d_hi: Any) -> list[Entry]:
         """Buffered entries with delete key in ``[d_lo, d_hi)`` (unordered)."""

@@ -1,0 +1,876 @@
+"""Durable persistence backend: what survives a crash, and how.
+
+Until this module existed the WAL, the manifest, and the byte-level codec
+were pure accounting — no state ever reached disk. :class:`DurableStore`
+gives one engine a real directory:
+
+``CONFIG.json``
+    The engine configuration, written once at creation so
+    :meth:`~repro.core.engine.LSMEngine.open` can rebuild an identical
+    engine without being told its knobs.
+``wal/<segment>.log``
+    One append-only file per live WAL segment, mirroring the in-memory
+    :class:`~repro.lsm.wal.WriteAheadLog` segment for segment. Records
+    carry the *full* operation payload (entry or range tombstone, durable
+    codec of :mod:`repro.storage.serialization`), so the un-flushed tail
+    of the engine can be replayed after a restart. Segment files are
+    deleted when the flush watermark passes them and rewritten by the
+    FADE ``D_th`` routine — §4.1.5's persistence guarantee therefore
+    holds on disk, not just in memory.
+``runs/<file_number>.<generation>.run``
+    One immutable blob per live run file, written with a temp-file +
+    ``os.replace`` dance so a blob is either wholly present or absent.
+    KiWi secondary range deletes mutate files in place (page drops); the
+    store detects the mutation at the next commit and writes the file
+    under a bumped *generation* — the old blob stays valid until the
+    manifest commits the new one.
+``MANIFEST.log``
+    The commit log. Every flush/compaction/secondary-delete appends one
+    framed record carrying the complete tree layout (levels → runs →
+    ``[file_number, generation, level_arrival_time]``), the WAL flush
+    watermark, the next sequence number, the clock, and any secondary
+    range deletes not yet covered by the watermark. **Appending this
+    record is the commit point**: recovery reads the last intact record
+    and ignores newer orphan blobs, so every multi-file transition
+    (compaction consuming four files and producing two, a secondary
+    delete touching every file) is atomic. Torn tails are detected by
+    length + CRC framing and discarded. :meth:`checkpoint` rewrites the
+    log as a single snapshot record, bounding recovery time.
+``CLOCK.json``
+    The simulated clock, refreshed on idle-time advances and checkpoints
+    so recovered engines do not travel back in time.
+
+Crash points
+------------
+Every physical write funnels through a :class:`FaultInjector` hook. The
+default injector only counts; :class:`CrashPoint` raises
+:class:`SimulatedCrash` once its budget of allowed writes is exhausted —
+*before* the write happens, so crash point *k* means "the process died
+between durable write *k* and durable write *k + 1*". ``tests/crash/``
+enumerates every such boundary for generated operation sequences and
+asserts recovery equals the dict model.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.core.config import (
+    BloomFilterScope,
+    EngineConfig,
+    FileSelectionMode,
+    MergePolicy,
+)
+from repro.core.errors import PersistenceError
+from repro.lsm.wal import WALRecord, WALSegment
+from repro.storage.entry import Entry, RangeTombstone
+from repro.storage.serialization import (
+    decode_durable_entry,
+    decode_durable_range_tombstone,
+    encode_durable_entry,
+    encode_durable_range_tombstone,
+)
+
+_FRAME_HEADER = struct.Struct("<II")  # payload length, crc32
+_RUN_MAGIC = b"LRUN1\n"
+_WAL_MAGIC = b"LWAL1\n"
+
+_REC_ENTRY = 0
+_REC_RANGE_TOMBSTONE = 1
+
+_ENUM_FIELDS = {
+    "merge_policy": MergePolicy,
+    "bloom_scope": BloomFilterScope,
+    "file_selection": FileSelectionMode,
+}
+
+_META_FIELDS = (
+    "file_number",
+    "created_at",
+    "level",
+    "num_entries",
+    "num_point_tombstones",
+    "num_range_tombstones",
+    "oldest_tombstone_time",
+    "min_seqnum",
+    "max_seqnum",
+    "level_arrival_time",
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """The durable backend 'died' at an injected crash point.
+
+    Deliberately *not* a :class:`~repro.core.errors.LetheError`: nothing
+    in the engine may catch and survive it — a crash ends the process in
+    the scenario being simulated.
+    """
+
+
+class FaultInjector:
+    """Counts durable write boundaries; the base class never crashes.
+
+    ``armed=False`` lets a harness construct stores and preload state
+    without consuming (or triggering) crash points, then arm the injector
+    for the operation stream under test. Counting is lock-guarded: one
+    injector is shared across every member store of a durable
+    :class:`~repro.shard.engine.ShardedEngine`, whose fan-outs may run
+    on a thread pool — a racy counter would make the count-then-crash-
+    at-k harness workflow replay a different boundary than it counted.
+    """
+
+    def __init__(self, armed: bool = True):
+        self.writes = 0
+        self.armed = armed
+        self._lock = threading.Lock()
+
+    def before_write(self, label: str) -> None:
+        """Called immediately before every physical write, with a label
+        naming the boundary (``wal-append``, ``run-blob``, ``manifest``,
+        ``wal-purge``, ``blob-prune``, ``clock``, ``config``,
+        ``manifest-snapshot``, ``topology``)."""
+        if not self.armed:
+            return
+        with self._lock:
+            self.writes += 1
+
+
+class CrashPoint(FaultInjector):
+    """Crash after ``allow_writes`` durable writes have been permitted."""
+
+    def __init__(self, allow_writes: int, armed: bool = True):
+        super().__init__(armed=armed)
+        if allow_writes < 0:
+            raise PersistenceError(
+                f"allow_writes must be >= 0, got {allow_writes}"
+            )
+        self.allow_writes = allow_writes
+
+    def before_write(self, label: str) -> None:
+        if not self.armed:
+            return
+        with self._lock:
+            if self.writes >= self.allow_writes:
+                raise SimulatedCrash(
+                    f"crash point hit before write #{self.writes + 1} ({label})"
+                )
+            self.writes += 1
+
+
+# ---------------------------------------------------------------------------
+# Config round-trip
+# ---------------------------------------------------------------------------
+
+
+def config_to_dict(config: EngineConfig) -> dict:
+    """JSON-safe dict of an :class:`EngineConfig` (enums by value)."""
+    payload = {}
+    for name in config.__dataclass_fields__:
+        value = getattr(config, name)
+        payload[name] = value.value if name in _ENUM_FIELDS else value
+    return payload
+
+
+def config_from_dict(payload: dict) -> EngineConfig:
+    """Inverse of :func:`config_to_dict`."""
+    kwargs = dict(payload)
+    for name, enum_type in _ENUM_FIELDS.items():
+        if name in kwargs:
+            kwargs[name] = enum_type(kwargs[name])
+    return EngineConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# Recovered-state containers
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class RecoveredSegment:
+    """One WAL segment read back from disk."""
+
+    segment_id: int
+    opened_at: float
+    records: list[WALRecord] = field(default_factory=list)
+
+
+@dataclass
+class RecoveredRun:
+    """One run blob read back from disk.
+
+    ``pages`` is a list of entry lists for the classic layout; ``tiles``
+    is a list of ``(min_key, max_key, [page entry lists])`` triples for
+    KiWi — exactly the physical structure, partial page drops included.
+    """
+
+    meta: dict
+    layout: str
+    pages: list[list[Entry]] = field(default_factory=list)
+    tiles: list[tuple[Any, Any, list[list[Entry]]]] = field(default_factory=list)
+    range_tombstones: list[RangeTombstone] = field(default_factory=list)
+
+
+@dataclass
+class StoreState:
+    """Everything :mod:`repro.lsm.recovery` needs to rebuild an engine."""
+
+    config: EngineConfig
+    manifest: dict | None
+    manifest_records: int
+    wal_segments: list[RecoveredSegment]
+    clock_now: float
+
+
+class DurableStore:
+    """One engine's durable directory. See the module docstring for the
+    on-disk layout and the commit protocol."""
+
+    def __init__(self, path: str | Path, injector: FaultInjector | None = None):
+        self.path = Path(path)
+        self.injector = injector or FaultInjector(armed=False)
+        self._engine: Any = None
+        # file_number -> (generation, (num_entries, num_pages)) of the
+        # last blob written; mutation detection for KiWi page drops.
+        self._recorded: dict[int, tuple[int, tuple[int, int]]] = {}
+        self._pending_srds: list[dict] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        path: str | Path,
+        config: EngineConfig,
+        injector: FaultInjector | None = None,
+    ) -> "DurableStore":
+        """Initialise a fresh store directory (must not hold a manifest)."""
+        store = cls(path, injector)
+        if store._manifest_path.exists():
+            raise PersistenceError(
+                f"{store.path} already holds a durable store; use open()"
+            )
+        store.path.mkdir(parents=True, exist_ok=True)
+        store._wal_dir.mkdir(exist_ok=True)
+        store._runs_dir.mkdir(exist_ok=True)
+        store._write_atomic(
+            store._config_path,
+            json.dumps(config_to_dict(config), sort_keys=True).encode("utf-8"),
+            label="config",
+        )
+        return store
+
+    @classmethod
+    def open(
+        cls, path: str | Path, injector: FaultInjector | None = None
+    ) -> "DurableStore":
+        """Bind to an existing store directory (for recovery)."""
+        store = cls(path, injector)
+        if not store._config_path.exists():
+            raise PersistenceError(f"{store.path} holds no durable store")
+        store._wal_dir.mkdir(exist_ok=True)
+        store._runs_dir.mkdir(exist_ok=True)
+        return store
+
+    def attach(self, engine: Any) -> None:
+        """Bind the engine whose state this store snapshots at commits."""
+        self._engine = engine
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def _config_path(self) -> Path:
+        return self.path / "CONFIG.json"
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.path / "MANIFEST.log"
+
+    @property
+    def _clock_path(self) -> Path:
+        return self.path / "CLOCK.json"
+
+    @property
+    def _wal_dir(self) -> Path:
+        return self.path / "wal"
+
+    @property
+    def _runs_dir(self) -> Path:
+        return self.path / "runs"
+
+    def _segment_path(self, segment_id: int) -> Path:
+        return self._wal_dir / f"{segment_id:08d}.log"
+
+    def _run_path(self, file_number: int, generation: int) -> Path:
+        return self._runs_dir / f"{file_number:08d}.{generation:04d}.run"
+
+    # ------------------------------------------------------------------
+    # Physical write primitives (every one is a crash boundary)
+    # ------------------------------------------------------------------
+
+    def _write_atomic(self, target: Path, data: bytes, label: str) -> None:
+        self.injector.before_write(label)
+        tmp = target.with_name(target.name + ".tmp")
+        tmp.write_bytes(data)
+        os.replace(tmp, target)
+
+    def _append_frame(self, target: Path, payload: bytes, label: str) -> None:
+        self.injector.before_write(label)
+        with open(target, "ab") as handle:
+            handle.write(frame_bytes(payload))
+            handle.flush()
+
+    def _unlink_all(self, paths: list[Path], label: str) -> None:
+        if not paths:
+            return
+        self.injector.before_write(label)
+        for target in paths:
+            target.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # WAL sink protocol (driven by WriteAheadLog)
+    # ------------------------------------------------------------------
+
+    def wal_append(self, segment: WALSegment, record: WALRecord) -> None:
+        """Mirror one appended record into the segment's durable file."""
+        target = self._segment_path(segment.segment_id)
+        blob = _encode_wal_record(record)
+        if not target.exists():
+            header = json.dumps(
+                {"segment_id": segment.segment_id, "opened_at": segment.opened_at}
+            ).encode("utf-8")
+            self.injector.before_write("wal-append")
+            with open(target, "wb") as handle:
+                handle.write(_WAL_MAGIC)
+                handle.write(frame_bytes(header))
+                handle.write(frame_bytes(blob))
+                handle.flush()
+            return
+        self._append_frame(target, blob, label="wal-append")
+
+    def wal_purge(self, segment_ids: list[int]) -> None:
+        """Delete segment files wholly below the flush watermark."""
+        self._unlink_all(
+            [self._segment_path(sid) for sid in segment_ids], label="wal-purge"
+        )
+
+    def wal_rewrite(
+        self, fresh: WALSegment | None, dropped_ids: list[int]
+    ) -> None:
+        """Persist the D_th routine: fresh segment first, then drop old.
+
+        A crash between the two leaves the live records duplicated across
+        the fresh and the over-age segments; WAL replay de-duplicates by
+        sequence number, so the overlap is harmless.
+        """
+        if fresh is not None:
+            header = json.dumps(
+                {"segment_id": fresh.segment_id, "opened_at": fresh.opened_at}
+            ).encode("utf-8")
+            blob = _WAL_MAGIC + frame_bytes(header)
+            for record in fresh.records:
+                blob += frame_bytes(_encode_wal_record(record))
+            self._write_atomic(
+                self._segment_path(fresh.segment_id), blob, label="wal-append"
+            )
+        self.wal_purge(dropped_ids)
+
+    # ------------------------------------------------------------------
+    # Commit protocol
+    # ------------------------------------------------------------------
+
+    def register_srd(self, seq: int, d_lo: Any, d_hi: Any) -> None:
+        """Register a secondary range delete before it executes.
+
+        The entry starts ``done: False`` (an *intent*); the engine
+        commits immediately after registering, so a crash anywhere inside
+        the SRD leaves a durable intent that recovery rolls forward.
+        :meth:`complete_srd` flips the flag once the SRD's physical work
+        finished; the entry then stays recorded (for WAL-replay
+        interleaving) until the flush watermark passes its sequence
+        number.
+        """
+        self._pending_srds.append(
+            {"seq": seq, "d_lo": d_lo, "d_hi": d_hi, "done": False}
+        )
+
+    def complete_srd(self, seq: int) -> None:
+        """Mark a registered SRD's physical work as finished.
+
+        Memory-only until the next commit persists it — exactly the
+        commit the engine issues right after calling this.
+        """
+        for entry in self._pending_srds:
+            if entry["seq"] == seq:
+                entry["done"] = True
+
+    def commit(self, reason: str, watermark: int | None = None) -> None:
+        """Make the attached engine's current tree state durable.
+
+        Writes blobs for new/mutated run files, then appends one manifest
+        record (the atomic commit point), then prunes blobs no longer
+        referenced. ``watermark`` overrides the WAL's flush watermark for
+        the record (the flush path commits *before* purging WAL segments,
+        so the new watermark is passed in explicitly).
+        """
+        engine = self._require_engine()
+        if watermark is None:
+            watermark = engine.wal.flushed_seqnum
+        self._pending_srds = [
+            entry for entry in self._pending_srds if entry["seq"] > watermark
+        ]
+
+        def materialize(run_file: Any) -> int:
+            """Blob generation for this file, writing a new blob if the
+            file is unrecorded or was mutated (KiWi page drops)."""
+            number = run_file.meta.file_number
+            signature = (run_file.meta.num_entries, run_file.num_pages)
+            recorded = self._recorded.get(number)
+            if recorded is None:
+                generation = 0
+                self._write_run(run_file, generation)
+            elif recorded[1] != signature:
+                generation = recorded[0] + 1
+                self._write_run(run_file, generation)
+            else:
+                generation = recorded[0]
+            self._recorded[number] = (generation, signature)
+            return generation
+
+        layout, referenced = self._layout_snapshot(engine, materialize)
+        record = self._manifest_record(engine, reason, layout, watermark)
+        self._append_frame(
+            self._manifest_path,
+            json.dumps(record, sort_keys=True).encode("utf-8"),
+            label="manifest",
+        )
+
+        live_numbers = {number for number, _generation in referenced}
+        for number in list(self._recorded):
+            if number not in live_numbers:
+                del self._recorded[number]
+        self._prune_blobs(referenced)
+
+    def checkpoint(self) -> None:
+        """Compact the manifest to one snapshot record and prune the dirs.
+
+        The engine flushes first (see :meth:`LSMEngine.checkpoint`), so
+        the WAL tail is empty up to the watermark and recovery from a
+        fresh checkpoint replays nothing.
+        """
+        engine = self._require_engine()
+        self.write_clock(engine.clock.now)
+
+        def recorded_generation(run_file: Any) -> int:
+            recorded = self._recorded.get(run_file.meta.file_number)
+            if recorded is None:  # pragma: no cover - commit precedes
+                raise PersistenceError(
+                    f"checkpoint found uncommitted file "
+                    f"{run_file.meta.file_number}"
+                )
+            return recorded[0]
+
+        layout, referenced = self._layout_snapshot(engine, recorded_generation)
+        self._pending_srds = [
+            entry
+            for entry in self._pending_srds
+            if entry["seq"] > engine.wal.flushed_seqnum
+        ]
+        record = self._manifest_record(
+            engine, "checkpoint", layout, engine.wal.flushed_seqnum
+        )
+        record["checkpoint"] = True
+        self._write_atomic(
+            self._manifest_path,
+            frame_bytes(json.dumps(record, sort_keys=True).encode("utf-8")),
+            label="manifest-snapshot",
+        )
+        live_ids = {segment.segment_id for segment in engine.wal.segments}
+        stale = [
+            path
+            for path in self._wal_dir.glob("*.log")
+            if int(path.name.split(".")[0]) not in live_ids
+        ]
+        self._unlink_all(stale, label="wal-purge")
+        self._prune_blobs(referenced)
+
+    def _layout_snapshot(
+        self, engine: Any, resolve_generation: Any
+    ) -> tuple[list, set[tuple[int, int]]]:
+        """Walk the tree into the manifest layout structure.
+
+        ``resolve_generation(run_file) -> int`` decides each file's blob
+        generation: the commit path materializes blobs as a side effect,
+        the checkpoint path only reads the recorded bookkeeping. Returns
+        ``(layout, referenced)`` where ``layout`` is levels → runs →
+        ``[file_number, generation, level_arrival_time]`` and
+        ``referenced`` is the ``(file_number, generation)`` set alive
+        after this snapshot.
+        """
+        layout: list[list[list[list]]] = []
+        referenced: set[tuple[int, int]] = set()
+        for level in engine.tree.levels:
+            level_out = []
+            for run in level.runs:
+                run_out = []
+                for run_file in run:
+                    number = run_file.meta.file_number
+                    generation = resolve_generation(run_file)
+                    referenced.add((number, generation))
+                    run_out.append(
+                        [number, generation, run_file.meta.level_arrival_time]
+                    )
+                level_out.append(run_out)
+            layout.append(level_out)
+        return layout, referenced
+
+    def _manifest_record(
+        self, engine: Any, reason: str, layout: list, watermark: int
+    ) -> dict:
+        return {
+            "reason": reason,
+            "layout": layout,
+            "watermark": watermark,
+            "next_seq": engine.seq.current,
+            "now": engine.clock.now,
+            "pending_srds": list(self._pending_srds),
+        }
+
+    def write_clock(self, now: float) -> None:
+        """Persist the simulated clock (idle advances carry no WAL record)."""
+        self._write_atomic(
+            self._clock_path,
+            json.dumps({"now": now}).encode("utf-8"),
+            label="clock",
+        )
+
+    def _prune_blobs(self, referenced: set[tuple[int, int]]) -> None:
+        stale = []
+        for path in self._runs_dir.glob("*.run"):
+            number_part, generation_part, _ = path.name.split(".")
+            if (int(number_part), int(generation_part)) not in referenced:
+                stale.append(path)
+        self._unlink_all(stale, label="blob-prune")
+
+    def _require_engine(self) -> Any:
+        if self._engine is None:
+            raise PersistenceError("store not attached to an engine")
+        return self._engine
+
+    # ------------------------------------------------------------------
+    # Run blob serialization
+    # ------------------------------------------------------------------
+
+    def _write_run(self, run_file: Any, generation: int) -> None:
+        blob = _encode_run(run_file)
+        self._write_atomic(
+            self._run_path(run_file.meta.file_number, generation),
+            blob,
+            label="run-blob",
+        )
+
+    def read_run(self, file_number: int, generation: int) -> RecoveredRun:
+        """Decode one run blob (recovery path)."""
+        target = self._run_path(file_number, generation)
+        if not target.exists():
+            raise PersistenceError(f"missing run blob {target.name}")
+        return _decode_run(target.read_bytes())
+
+    # ------------------------------------------------------------------
+    # Load
+    # ------------------------------------------------------------------
+
+    def load(self) -> StoreState:
+        """Read everything recovery needs.
+
+        Torn trailing frames (a *real* mid-write crash, which the
+        simulated injector never produces) are not just skipped but
+        **truncated away**: appends resume at the end of the file, so a
+        torn tail left in place would make every post-recovery record
+        unreadable to the next restart.
+        """
+        config = config_from_dict(
+            json.loads(self._config_path.read_text(encoding="utf-8"))
+        )
+        records = []
+        if self._manifest_path.exists():
+            blob = self._manifest_path.read_bytes()
+            for payload in read_frames(blob):
+                records.append(json.loads(payload.decode("utf-8")))
+            self._truncate_torn_tail(self._manifest_path, blob, 0)
+        manifest = records[-1] if records else None
+
+        segments: list[RecoveredSegment] = []
+        for path in sorted(self._wal_dir.glob("*.log")):
+            blob = path.read_bytes()
+            segment = _decode_wal_segment(blob)
+            if segment is None:
+                # Bad magic or a torn header frame: nothing in the file
+                # is recoverable, and appends must not resume behind the
+                # damage.
+                path.unlink(missing_ok=True)
+                continue
+            self._truncate_torn_tail(path, blob, len(_WAL_MAGIC))
+            segments.append(segment)
+        segments.sort(key=lambda s: s.segment_id)
+
+        clock_now = 0.0
+        if self._clock_path.exists():
+            try:
+                clock_now = float(
+                    json.loads(self._clock_path.read_text(encoding="utf-8"))["now"]
+                )
+            except (ValueError, KeyError):  # torn clock write: fall back
+                clock_now = 0.0
+        return StoreState(
+            config=config,
+            manifest=manifest,
+            manifest_records=len(records),
+            wal_segments=segments,
+            clock_now=clock_now,
+        )
+
+    @staticmethod
+    def _truncate_torn_tail(path: Path, blob: bytes, offset: int) -> None:
+        intact = intact_prefix_length(blob, offset)
+        if intact < len(blob):
+            with open(path, "r+b") as handle:
+                handle.truncate(intact)
+
+    def mark_recovered(
+        self,
+        layout: list,
+        pending_srds: list[dict],
+    ) -> None:
+        """Seed commit-tracking state after a recovery rebuilt the engine."""
+        self._pending_srds = [dict(entry) for entry in pending_srds]
+        engine = self._require_engine()
+        by_number = {
+            f.meta.file_number: f for f in engine.tree.all_files()
+        }
+        for level_out in layout:
+            for run_out in level_out:
+                for number, generation, _arrival in run_out:
+                    run_file = by_number.get(number)
+                    if run_file is None:  # pragma: no cover - defensive
+                        continue
+                    self._recorded[number] = (
+                        generation,
+                        (run_file.meta.num_entries, run_file.num_pages),
+                    )
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+
+
+def frame_bytes(payload: bytes) -> bytes:
+    return _FRAME_HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def read_frames(blob: bytes, offset: int = 0) -> Iterator[bytes]:
+    """Yield intact frames; stop silently at the first torn/corrupt one."""
+    cursor = offset
+    while cursor + _FRAME_HEADER.size <= len(blob):
+        length, crc = _FRAME_HEADER.unpack_from(blob, cursor)
+        start = cursor + _FRAME_HEADER.size
+        end = start + length
+        if end > len(blob):
+            return
+        payload = blob[start:end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield payload
+        cursor = end
+
+
+def intact_prefix_length(blob: bytes, offset: int = 0) -> int:
+    """Byte length of the intact frame prefix (where a torn tail starts)."""
+    cursor = offset
+    while cursor + _FRAME_HEADER.size <= len(blob):
+        length, crc = _FRAME_HEADER.unpack_from(blob, cursor)
+        start = cursor + _FRAME_HEADER.size
+        end = start + length
+        if end > len(blob) or zlib.crc32(blob[start:end]) != crc:
+            return cursor
+        cursor = end
+    return cursor
+
+
+# ---------------------------------------------------------------------------
+# WAL record encoding
+# ---------------------------------------------------------------------------
+
+
+def _encode_wal_record(record: WALRecord) -> bytes:
+    payload = record.payload
+    if isinstance(payload, Entry):
+        return bytes([_REC_ENTRY]) + encode_durable_entry(payload)
+    if isinstance(payload, RangeTombstone):
+        return bytes([_REC_RANGE_TOMBSTONE]) + encode_durable_range_tombstone(
+            payload
+        )
+    raise PersistenceError(
+        "durable WAL requires Entry/RangeTombstone payloads, got "
+        f"{type(payload).__name__}"
+    )
+
+
+def _decode_wal_payload(blob: bytes) -> Entry | RangeTombstone:
+    if blob[0] == _REC_ENTRY:
+        entry, _ = decode_durable_entry(blob, 1)
+        return entry
+    if blob[0] == _REC_RANGE_TOMBSTONE:
+        tombstone, _ = decode_durable_range_tombstone(blob, 1)
+        return tombstone
+    raise PersistenceError(f"unknown WAL record type {blob[0]}")
+
+
+def _decode_wal_segment(blob: bytes) -> RecoveredSegment | None:
+    if not blob.startswith(_WAL_MAGIC):
+        return None
+    frames = read_frames(blob, len(_WAL_MAGIC))
+    try:
+        header = json.loads(next(frames).decode("utf-8"))
+    except StopIteration:  # header torn: segment is unusable
+        return None
+    segment = RecoveredSegment(
+        segment_id=int(header["segment_id"]),
+        opened_at=float(header["opened_at"]),
+    )
+    for payload in frames:
+        record = _decode_wal_payload(payload)
+        if isinstance(record, RangeTombstone):
+            segment.records.append(
+                WALRecord(
+                    seqnum=record.seqnum,
+                    key=record.start,
+                    is_tombstone=True,
+                    written_at=record.write_time,
+                    payload=record,
+                )
+            )
+        else:
+            segment.records.append(
+                WALRecord(
+                    seqnum=record.seqnum,
+                    key=record.key,
+                    is_tombstone=record.is_tombstone,
+                    written_at=record.write_time,
+                    payload=record,
+                )
+            )
+    return segment
+
+
+# ---------------------------------------------------------------------------
+# Run blob encoding
+# ---------------------------------------------------------------------------
+
+
+def _meta_to_dict(meta: Any) -> dict:
+    return {name: getattr(meta, name) for name in _META_FIELDS}
+
+
+def _encode_run(run_file: Any) -> bytes:
+    # Imported here: layout modules import storage modules, not vice versa.
+    from repro.kiwi.layout import KiWiFile
+    from repro.lsm.sstable import SSTable
+
+    encoded_entries: list[bytes] = []
+    if isinstance(run_file, KiWiFile):
+        tiles = []
+        for tile in run_file.tiles:
+            page_counts = []
+            for page in tile.pages:
+                page_counts.append(len(page))
+                encoded_entries.extend(
+                    encode_durable_entry(entry) for entry in page
+                )
+            tiles.append(
+                {"min": tile.min_key, "max": tile.max_key, "pages": page_counts}
+            )
+        header = {
+            "layout": "kiwi",
+            "meta": _meta_to_dict(run_file.meta),
+            "tiles": tiles,
+        }
+    elif isinstance(run_file, SSTable):
+        page_counts = []
+        for page in run_file.pages:
+            page_counts.append(len(page))
+            encoded_entries.extend(
+                encode_durable_entry(entry) for entry in page
+            )
+        header = {
+            "layout": "sstable",
+            "meta": _meta_to_dict(run_file.meta),
+            "pages": page_counts,
+        }
+    else:
+        raise PersistenceError(
+            f"cannot persist run files of type {type(run_file).__name__}"
+        )
+    rts_blob = b"".join(
+        encode_durable_range_tombstone(rt) for rt in run_file.range_tombstones
+    )
+    return (
+        _RUN_MAGIC
+        + frame_bytes(json.dumps(header, sort_keys=True).encode("utf-8"))
+        + frame_bytes(b"".join(encoded_entries))
+        + frame_bytes(rts_blob)
+    )
+
+
+def _decode_run(blob: bytes) -> RecoveredRun:
+    if not blob.startswith(_RUN_MAGIC):
+        raise PersistenceError("run blob has a bad magic header")
+    frames = list(read_frames(blob, len(_RUN_MAGIC)))
+    if len(frames) != 3:
+        raise PersistenceError(
+            f"run blob truncated: {len(frames)}/3 sections readable"
+        )
+    header = json.loads(frames[0].decode("utf-8"))
+    entries_blob, rts_blob = frames[1], frames[2]
+
+    def take_entries(count: int, cursor: int) -> tuple[list[Entry], int]:
+        out = []
+        for _ in range(count):
+            entry, cursor = decode_durable_entry(entries_blob, cursor)
+            out.append(entry)
+        return out, cursor
+
+    recovered = RecoveredRun(meta=dict(header["meta"]), layout=header["layout"])
+    cursor = 0
+    if header["layout"] == "kiwi":
+        for tile in header["tiles"]:
+            pages = []
+            for count in tile["pages"]:
+                page_entries, cursor = take_entries(count, cursor)
+                pages.append(page_entries)
+            recovered.tiles.append((tile["min"], tile["max"], pages))
+    elif header["layout"] == "sstable":
+        for count in header["pages"]:
+            page_entries, cursor = take_entries(count, cursor)
+            recovered.pages.append(page_entries)
+    else:
+        raise PersistenceError(f"unknown run layout {header['layout']!r}")
+    if cursor != len(entries_blob):
+        raise PersistenceError("run blob entry section has trailing bytes")
+
+    cursor = 0
+    while cursor < len(rts_blob):
+        tombstone, cursor = decode_durable_range_tombstone(rts_blob, cursor)
+        recovered.range_tombstones.append(tombstone)
+    return recovered

@@ -8,9 +8,22 @@ layout-level tests that bypass the engine.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.config import EngineConfig, lethe_config, rocksdb_config
+
+# Hypothesis profiles: CI pins the example order (derandomize) so a red
+# build is reproducible from the log alone; the nightly job trades time
+# for depth. Select with HYPOTHESIS_PROFILE=ci|nightly|dev (default dev;
+# per-test @settings(max_examples=...) still take precedence where set —
+# the crash suite additionally scales with CRASH_EXAMPLES).
+settings.register_profile("dev", settings.default)
+settings.register_profile("ci", derandomize=True)
+settings.register_profile("nightly", max_examples=300, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 from repro.core.engine import LSMEngine
 from repro.core.stats import Statistics
 from repro.storage.disk import SimulatedDisk

@@ -1,0 +1,270 @@
+"""Fault-injection harness: kill the durable backend at write boundaries.
+
+The workflow every crash test follows:
+
+1. **Count** — replay an operation sequence against a durable engine with
+   a counting :class:`~repro.storage.persist.FaultInjector`; the total is
+   the number of physical write boundaries the sequence crosses.
+2. **Crash** — replay the same sequence in a fresh directory with a
+   :class:`~repro.storage.persist.CrashPoint` armed at boundary ``k``;
+   the replay dies mid-operation with :class:`SimulatedCrash`.
+3. **Recover** — reopen the directory with :meth:`LSMEngine.open` (no
+   injector: recovery itself is not under fault injection here).
+4. **Compare** — the recovered read surface (every ``get``, a full
+   ``scan``, a full ``secondary_range_lookup``) must equal the dict
+   model *before* the in-flight operation or the model *after* it —
+   the in-flight operation was never acknowledged, so either fate is
+   correct, but any mixture is a torn state.
+5. **Continue** — re-apply the in-flight operation and the remainder of
+   the sequence to the recovered engine; the final surface must equal
+   the full-sequence model. Recovery must yield a *working* engine, not
+   just a readable one.
+
+The operation vocabulary extends ``tests/test_engine_model.py``'s with
+``advance_time`` and ``checkpoint`` so crash points cover the clock file
+and the manifest-snapshot path too. Values are derived from a running
+counter exactly as the model test does, so surfaces compare exactly.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.config import lethe_config, rocksdb_config
+from repro.core.engine import LSMEngine
+from repro.storage.persist import CrashPoint, FaultInjector, SimulatedCrash
+
+from tests.conftest import TINY
+
+# Scale knob for the Hypothesis crash properties: each example costs four
+# full replays, so the default stays small; the nightly CI job raises it.
+CRASH_EXAMPLES = int(os.environ.get("CRASH_EXAMPLES", "6"))
+
+KEY_SPACE = 14
+DKEY_SPACE = 120
+
+# Engine flavours under crash testing: the classic layout (both with and
+# without FADE) and the full Lethe (FADE + KiWi) stack.
+CRASH_FLAVOURS = [
+    ("baseline", lambda: rocksdb_config(**TINY)),
+    ("lethe", lambda: lethe_config(0.5, **TINY)),
+    ("lethe-kiwi", lambda: lethe_config(0.5, delete_tile_pages=4, **TINY)),
+]
+
+
+# ---------------------------------------------------------------------------
+# Model replay
+# ---------------------------------------------------------------------------
+
+
+def apply_model(model: dict, op: tuple, counter: list[int]) -> None:
+    """Advance the dict model (key -> (value, delete_key)) by one op."""
+    kind = op[0]
+    if kind == "put":
+        counter[0] += 1
+        model[op[1]] = (f"val{counter[0]}", op[2])
+    elif kind == "delete":
+        model.pop(op[1], None)
+    elif kind == "range_delete":
+        start, end = op[1], op[1] + op[2]
+        for key in [k for k in model if start <= k < end]:
+            del model[key]
+    elif kind == "srd":
+        d_lo, d_hi = op[1], op[1] + op[2]
+        for key in [
+            k for k, (_v, d) in model.items() if d_lo <= d < d_hi
+        ]:
+            del model[key]
+    # flush / checkpoint / advance_time / get / scan do not change content
+
+
+def apply_engine(engine: LSMEngine, op: tuple, counter: list[int]) -> None:
+    """Apply one op to the engine, mirroring :func:`apply_model` values."""
+    kind = op[0]
+    if kind == "put":
+        engine.put(op[1], f"val{counter[0] + 1}", delete_key=op[2])
+    elif kind == "delete":
+        engine.delete(op[1])
+    elif kind == "range_delete":
+        engine.range_delete(op[1], op[1] + op[2])
+    elif kind == "srd":
+        engine.secondary_range_delete(op[1], op[1] + op[2])
+    elif kind == "flush":
+        engine.flush()
+    elif kind == "checkpoint":
+        engine.checkpoint()
+    elif kind == "advance_time":
+        engine.advance_time(op[1])
+    else:
+        raise AssertionError(f"unknown crash-harness op {op!r}")
+
+
+def apply_both(engine: LSMEngine, model: dict, op: tuple, counter: list[int]) -> None:
+    apply_engine(engine, op, counter)
+    apply_model(model, op, counter)
+
+
+# ---------------------------------------------------------------------------
+# Read surfaces
+# ---------------------------------------------------------------------------
+
+
+def engine_surface(engine: LSMEngine) -> tuple:
+    """The complete observable state of one engine."""
+    gets = tuple(engine.get(key) for key in range(KEY_SPACE))
+    scan = tuple(engine.scan(0, KEY_SPACE))
+    secondary = tuple(engine.secondary_range_lookup(0, DKEY_SPACE + 1))
+    return gets, scan, secondary
+
+
+def model_surface(model: dict) -> tuple:
+    gets = tuple(
+        model[key][0] if key in model else None for key in range(KEY_SPACE)
+    )
+    scan = tuple(sorted((k, v) for k, (v, _d) in model.items()))
+    secondary = tuple(
+        sorted((k, v) for k, (v, d) in model.items() if 0 <= d <= DKEY_SPACE)
+    )
+    return gets, scan, secondary
+
+
+# ---------------------------------------------------------------------------
+# Crash runs
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashRun:
+    """Outcome of one kill-and-recover cycle."""
+
+    crashed: bool
+    in_flight_op: tuple | None
+    model_before: dict
+    model_after: dict
+    counter_before: int
+    recovered: LSMEngine
+    path: str
+    remaining_ops: list[tuple] = field(default_factory=list)
+
+
+def count_crash_points(
+    ops: list[tuple], config_factory: Callable[[], Any]
+) -> int:
+    """Total durable write boundaries the op sequence crosses."""
+    injector = FaultInjector(armed=False)
+    with tempfile.TemporaryDirectory() as tmp:
+        engine = LSMEngine.open(
+            os.path.join(tmp, "db"), config=config_factory(), injector=injector
+        )
+        injector.armed = True
+        model: dict = {}
+        counter = [0]
+        for op in ops:
+            apply_both(engine, model, op, counter)
+    return injector.writes
+
+
+def run_crash(
+    ops: list[tuple],
+    config_factory: Callable[[], Any],
+    crash_at: int,
+    tmp: str,
+) -> CrashRun:
+    """Replay ``ops`` with a crash at write boundary ``crash_at``, recover.
+
+    ``crash_at`` must be < the sequence's total write count, so the crash
+    is guaranteed to fire. The store directory lives under ``tmp`` (the
+    caller owns cleanup).
+    """
+    path = os.path.join(tmp, "db")
+    injector = CrashPoint(crash_at, armed=False)
+    engine = LSMEngine.open(path, config=config_factory(), injector=injector)
+    injector.armed = True
+
+    model: dict = {}
+    counter = [0]
+    in_flight: tuple | None = None
+    model_before: dict = {}
+    counter_before = 0
+    remaining: list[tuple] = []
+    try:
+        for index, op in enumerate(ops):
+            model_before = dict(model)
+            counter_before = counter[0]
+            in_flight = op
+            apply_both(engine, model, op, counter)
+        crashed = False
+        in_flight = None
+        model_before = dict(model)
+        counter_before = counter[0]
+    except SimulatedCrash:
+        crashed = True
+        remaining = list(ops[index:])
+
+    model_after = dict(model_before)
+    counter_after = [counter_before]
+    if in_flight is not None:
+        apply_model(model_after, in_flight, counter_after)
+
+    recovered = LSMEngine.open(path)
+    return CrashRun(
+        crashed=crashed,
+        in_flight_op=in_flight,
+        model_before=model_before,
+        model_after=model_after,
+        counter_before=counter_before,
+        recovered=recovered,
+        path=path,
+        remaining_ops=remaining,
+    )
+
+
+def assert_recovery_matches_model(run: CrashRun, context: str) -> tuple:
+    """The recovered surface must equal one model exactly — no mixtures.
+
+    Returns the matched model dict so callers can continue from it.
+    """
+    got = engine_surface(run.recovered)
+    before = model_surface(run.model_before)
+    after = model_surface(run.model_after)
+    assert got == before or got == after, (
+        f"[{context}] torn state after crash during {run.in_flight_op!r}:\n"
+        f"  got:    {got}\n  before: {before}\n  after:  {after}"
+    )
+    return run.model_after if got == after else run.model_before
+
+
+def assert_dth_invariant(engine: LSMEngine, context: str) -> None:
+    """§4.1.5 across recovery: no WAL segment/tombstone older than D_th."""
+    d_th = engine.config.delete_persistence_threshold
+    if not d_th:
+        return
+    now = engine.clock.now
+    slack = 1e-9
+    assert engine.wal.oldest_segment_age(now) <= d_th + slack, (
+        f"[{context}] recovered WAL holds a segment older than D_th"
+    )
+    for segment in engine.wal.segments:
+        for record in segment.records:
+            if record.is_tombstone:
+                assert now - record.written_at <= d_th + slack, (
+                    f"[{context}] tombstone record aged past D_th in the "
+                    f"recovered WAL (seq {record.seqnum})"
+                )
+
+
+def continue_after_recovery(run: CrashRun) -> tuple[LSMEngine, dict]:
+    """Re-apply the in-flight op and the rest; return (engine, model).
+
+    Replaying the in-flight operation is safe whichever fate the crash
+    gave it: puts re-install the same value, deletes and range deletes
+    are idempotent, flush/checkpoint/advance are content no-ops.
+    """
+    model = dict(run.model_before)
+    counter = [run.counter_before]
+    for op in run.remaining_ops:
+        apply_both(run.recovered, model, op, counter)
+    return run.recovered, model

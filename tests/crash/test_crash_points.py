@@ -1,0 +1,101 @@
+"""Exhaustive crash-point enumeration on deterministic sequences.
+
+For a fixed operation sequence covering every durable code path (puts,
+point/range/secondary deletes, flushes, idle time, a checkpoint), kill
+the backend at *every* write boundary in turn and require recovery to
+land exactly on the dict model before or after the in-flight operation,
+honour the D_th WAL invariant, and keep working afterwards.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+
+from tests.crash.harness import (
+    CRASH_FLAVOURS,
+    assert_dth_invariant,
+    assert_recovery_matches_model,
+    continue_after_recovery,
+    count_crash_points,
+    engine_surface,
+    model_surface,
+    run_crash,
+)
+
+
+def deterministic_ops() -> list[tuple]:
+    """~40 ops that exercise every durable write boundary type."""
+    ops: list[tuple] = []
+    for i in range(26):
+        ops.append(("put", i % 13, i * 4 % 120))
+        if i % 7 == 3:
+            ops.append(("delete", (i * 3) % 13))
+        if i % 11 == 5:
+            ops.append(("range_delete", 2, 4))
+        if i % 9 == 7:
+            ops.append(("srd", 10, 25))
+        if i == 12:
+            ops.append(("advance_time", 0.05))
+        if i == 18:
+            ops.append(("checkpoint",))
+    ops.append(("flush",))
+    return ops
+
+
+@pytest.mark.parametrize("name,config_factory", CRASH_FLAVOURS)
+def test_every_crash_point_recovers_to_a_model_state(name, config_factory):
+    ops = deterministic_ops()
+    total = count_crash_points(ops, config_factory)
+    assert total > 20, f"[{name}] suspiciously few write boundaries: {total}"
+    for crash_at in range(total):
+        with tempfile.TemporaryDirectory() as tmp:
+            run = run_crash(ops, config_factory, crash_at, tmp)
+            assert run.crashed, f"[{name}] crash point {crash_at} never fired"
+            context = f"{name}@{crash_at}"
+            assert_recovery_matches_model(run, context)
+            assert_dth_invariant(run.recovered, context)
+
+
+@pytest.mark.parametrize("name,config_factory", CRASH_FLAVOURS)
+def test_sampled_crash_points_continue_to_the_final_model(name, config_factory):
+    """Recovered engines keep serving the rest of the sequence correctly."""
+    ops = deterministic_ops()
+    total = count_crash_points(ops, config_factory)
+    for crash_at in range(0, total, 5):
+        with tempfile.TemporaryDirectory() as tmp:
+            run = run_crash(ops, config_factory, crash_at, tmp)
+            assert run.crashed
+            assert_recovery_matches_model(run, f"{name}@{crash_at}")
+            engine, model = continue_after_recovery(run)
+            assert engine_surface(engine) == model_surface(model), (
+                f"[{name}@{crash_at}] recovered engine diverged while "
+                "serving the remainder of the sequence"
+            )
+
+
+@pytest.mark.parametrize("name,config_factory", CRASH_FLAVOURS)
+def test_recovery_is_idempotent(name, config_factory):
+    """Recovering twice (a crash loop) lands on the same state."""
+    ops = deterministic_ops()
+    total = count_crash_points(ops, config_factory)
+    crash_at = total // 2
+    with tempfile.TemporaryDirectory() as tmp:
+        run = run_crash(ops, config_factory, crash_at, tmp)
+        first = engine_surface(run.recovered)
+        from repro.core.engine import LSMEngine
+
+        again = LSMEngine.open(run.path)
+        assert engine_surface(again) == first
+
+
+def test_no_crash_run_equals_model():
+    """With the injector merely counting, the durable engine is exact."""
+    name, config_factory = CRASH_FLAVOURS[2]
+    ops = deterministic_ops()
+    with tempfile.TemporaryDirectory() as tmp:
+        run = run_crash(ops, config_factory, 10**9, tmp)
+        assert not run.crashed
+        assert run.in_flight_op is None
+        assert engine_surface(run.recovered) == model_surface(run.model_before)

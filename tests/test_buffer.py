@@ -130,7 +130,7 @@ class TestSecondaryKeySupport:
         buffer.put(put(2, 1, delete_key=200))
         buffer.put(put(3, 2, delete_key=300))
         removed = buffer.purge_delete_key_range(150, 250)
-        assert removed == 1
+        assert [entry.key for entry in removed] == [2]
         assert buffer.get(2) is None
         assert buffer.get(1) is not None
 
@@ -144,4 +144,4 @@ class TestSecondaryKeySupport:
     def test_entries_without_delete_key_never_purged(self):
         buffer = MemoryBuffer(16)
         buffer.put(put(1, 0))
-        assert buffer.purge_delete_key_range(0, 10**12) == 0
+        assert buffer.purge_delete_key_range(0, 10**12) == []

@@ -189,6 +189,50 @@ class TestSecondaryRangeDelete:
         hits = kiwi_engine.secondary_range_lookup(50, 150)
         assert hits == []
 
+    def test_purging_newest_buffered_version_does_not_resurrect(
+        self, kiwi_engine
+    ):
+        """Page drops purge by delete key, not recency: when the newest
+        version of a key dies, an older on-disk version whose delete key
+        lies *outside* the range must not resurface."""
+        kiwi_engine.put(5, "old", delete_key=1000)  # out of delete range
+        kiwi_engine.flush()
+        kiwi_engine.put(5, "new", delete_key=10)  # newest, in range
+        kiwi_engine.secondary_range_delete(0, 50)
+        assert kiwi_engine.get(5) is None
+        assert kiwi_engine.scan(0, 10) == []
+        assert kiwi_engine.secondary_range_lookup(0, 2000) == []
+
+    def test_purging_newest_on_disk_version_does_not_resurrect(
+        self, kiwi_engine
+    ):
+        """Same shadow problem with both versions on disk in different
+        runs: the tile drop removes the newer version only."""
+        for key in range(64):
+            kiwi_engine.put(key, f"a{key}", delete_key=1000 + key)
+        kiwi_engine.flush()
+        kiwi_engine.force_full_compaction()
+        for key in range(10):
+            kiwi_engine.put(key, f"b{key}", delete_key=key)
+        kiwi_engine.flush()
+        kiwi_engine.secondary_range_delete(0, 100)
+        for key in range(10):
+            assert kiwi_engine.get(key) is None, key
+        for key in range(10, 64):
+            assert kiwi_engine.get(key) == f"a{key}"
+
+    def test_old_invalid_versions_drop_without_tombstoning_survivors(
+        self, kiwi_engine
+    ):
+        """Dropping a *stale* version whose newer version survives (delete
+        key out of range) must leave the newer version readable."""
+        kiwi_engine.put(3, "old", delete_key=10)  # in range, but stale
+        kiwi_engine.flush()
+        kiwi_engine.put(3, "new", delete_key=1000)  # newest, out of range
+        kiwi_engine.flush()
+        kiwi_engine.secondary_range_delete(0, 50)
+        assert kiwi_engine.get(3) == "new"
+
 
 class TestPersistenceTracking:
     def test_records_opened_and_closed(self, lethe_engine):

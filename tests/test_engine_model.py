@@ -4,6 +4,12 @@ The oracle is a plain dict replaying the same operations; after any
 sequence of puts, deletes, sort-key range deletes, and secondary range
 deletes — across every engine flavour — every key must read back exactly
 what the model says, through any number of flushes and compactions.
+
+Reads are part of the generated sequences too: ``get``/``scan``
+operations assert against the model *mid-history* (not only at the end),
+so a state the engine passes through and later repairs cannot hide, and
+``advance_time`` interleaves idle periods that fire FADE's TTL
+compactions and the D_th WAL routine between writes.
 """
 
 import pytest
@@ -20,11 +26,18 @@ DKEYS = st.integers(min_value=0, max_value=400)
 
 OPS = st.lists(
     st.one_of(
+        # The put branch appears twice on purpose: with reads and idle
+        # time in the mix, histories must stay write-heavy enough that
+        # flushes and compactions still fire within 120 ops.
+        st.tuples(st.just("put"), KEYS, DKEYS),
         st.tuples(st.just("put"), KEYS, DKEYS),
         st.tuples(st.just("delete"), KEYS),
         st.tuples(st.just("range_delete"), KEYS, st.integers(1, 15)),
         st.tuples(st.just("srd"), DKEYS, st.integers(1, 120)),
         st.tuples(st.just("flush")),
+        st.tuples(st.just("get"), KEYS),
+        st.tuples(st.just("scan"), KEYS, st.integers(1, 12)),
+        st.tuples(st.just("advance_time"), st.floats(0.01, 0.5)),
     ),
     min_size=1,
     max_size=120,
@@ -49,7 +62,12 @@ def engine_flavours():
 
 
 def replay(engine: LSMEngine, ops) -> dict:
-    """Apply ops to engine and the model dict in lockstep."""
+    """Apply ops to engine and the model dict in lockstep.
+
+    Read operations (``get``/``scan``) are checked against the model at
+    the point in history where they occur; ``advance_time`` simulates an
+    idle period (TTL expiries, WAL rolling) and must not change content.
+    """
     model: dict[int, tuple[str, int]] = {}
     counter = 0
     for op in ops:
@@ -79,6 +97,23 @@ def replay(engine: LSMEngine, ops) -> dict:
                 del model[key]
         elif op[0] == "flush":
             engine.flush()
+        elif op[0] == "get":
+            _, key = op
+            expected = model[key][0] if key in model else None
+            assert engine.get(key) == expected, (
+                f"mid-sequence get({key}) diverged from the model"
+            )
+        elif op[0] == "scan":
+            _, lo, width = op
+            got = engine.scan(lo, lo + width)
+            expected_pairs = sorted(
+                (k, v) for k, (v, _d) in model.items() if lo <= k <= lo + width
+            )
+            assert got == expected_pairs, (
+                f"mid-sequence scan[{lo}, {lo + width}] diverged from the model"
+            )
+        elif op[0] == "advance_time":
+            engine.advance_time(op[1])
     return model
 
 

@@ -31,33 +31,48 @@ _SWEEP_FIGURES = {
 }
 
 _STANDALONE = {
-    "fig6e": lambda scale, executor: ex.fig6e_tombstone_ages(scale),
-    "fig6f": lambda scale, executor: ex.fig6f_write_amortization(scale),
-    "fig6g": lambda scale, executor: ex.fig6g_latency_scaling(scale),
-    "fig6h": lambda scale, executor: ex.fig6h_page_drops(scale),
-    "fig6i": lambda scale, executor: ex.fig6i_lookup_cost(scale),
-    "fig6j": lambda scale, executor: ex.fig6j_optimal_layout(scale),
-    "fig6k": lambda scale, executor: ex.fig6k_cpu_io_tradeoff(scale),
-    "fig6l": lambda scale, executor: ex.fig6l_correlation(scale),
-    "fig1": lambda scale, executor: ex.fig1_summary(scale),
-    "table2": lambda scale, executor: ex.table2_cost_model(),
-    "shard": lambda scale, executor: ex.shard_scaling(scale, executor=executor),
-    "parallel": lambda scale, executor: ex.parallel_scaling(scale),
-    "recovery": lambda scale, executor: ex.recovery_experiment(scale),
+    "fig6e": lambda scale, executor, quick: ex.fig6e_tombstone_ages(scale),
+    "fig6f": lambda scale, executor, quick: ex.fig6f_write_amortization(scale),
+    "fig6g": lambda scale, executor, quick: ex.fig6g_latency_scaling(scale),
+    "fig6h": lambda scale, executor, quick: ex.fig6h_page_drops(scale),
+    "fig6i": lambda scale, executor, quick: ex.fig6i_lookup_cost(scale),
+    "fig6j": lambda scale, executor, quick: ex.fig6j_optimal_layout(scale),
+    "fig6k": lambda scale, executor, quick: ex.fig6k_cpu_io_tradeoff(scale),
+    "fig6l": lambda scale, executor, quick: ex.fig6l_correlation(scale),
+    "fig1": lambda scale, executor, quick: ex.fig1_summary(scale),
+    "table2": lambda scale, executor, quick: ex.table2_cost_model(),
+    "shard": lambda scale, executor, quick: ex.shard_scaling(
+        scale, executor=executor
+    ),
+    "parallel": lambda scale, executor, quick: ex.parallel_scaling(scale),
+    "recovery": lambda scale, executor, quick: ex.recovery_experiment(scale),
+    "wal": lambda scale, executor, quick: ex.wal_experiment(scale, quick=quick),
 }
+
+# Reduced scale for `--quick` (CI smoke): enough volume that flushes,
+# compactions, and WAL segments all still engage.
+QUICK_INSERTS = 2000
 
 
 def _scale_from(args: argparse.Namespace) -> ExperimentScale:
-    if args.inserts is None:
+    inserts = args.inserts
+    if inserts is None and args.quick:
+        inserts = QUICK_INSERTS
+    if inserts is None:
         return BENCH_SCALE
     return ExperimentScale(
-        num_inserts=args.inserts,
-        num_point_lookups=max(100, args.inserts // 6),
+        num_inserts=inserts,
+        num_point_lookups=max(100, inserts // 6),
     )
 
 
 def _run_one(
-    name: str, scale: ExperimentScale, sweep_cache: dict, executor: str
+    name: str,
+    scale: ExperimentScale,
+    sweep_cache: dict,
+    executor: str,
+    quick: bool = False,
+    json_path: str | None = None,
 ) -> None:
     started = time.time()
     if name in _SWEEP_FIGURES:
@@ -66,10 +81,22 @@ def _run_one(
             sweep_cache["sweep"] = ex.delete_sweep(scale)
         result = _SWEEP_FIGURES[name](sweep_cache["sweep"])
     else:
-        result = _STANDALONE[name](scale, executor)
+        result = _STANDALONE[name](scale, executor, quick)
     elapsed = time.time() - started
     print(result.report)
     print(f"[{name} done in {elapsed:.1f}s]\n")
+    if json_path:
+        import json
+
+        payload = {
+            "figure": result.figure,
+            "elapsed_seconds": round(elapsed, 3),
+            "series": result.series,
+        }
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        print(f"[series written to {json_path}]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -81,7 +108,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
-        "recovery), 'all', or 'list'",
+        "recovery, wal), 'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",
@@ -95,6 +122,19 @@ def main(argv: list[str] | None = None) -> int:
         default="serial",
         help="shard dispatch strategy for sharded experiments (the "
         "'parallel' experiment always compares both)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_INSERTS} inserts (unless --inserts "
+        "overrides) and trimmed sweeps where the experiment supports it",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also dump the experiment's series to PATH as JSON "
+        "(e.g. BENCH_wal.json)",
     )
     args = parser.parse_args(argv)
 
@@ -110,13 +150,26 @@ def main(argv: list[str] | None = None) -> int:
     sweep_cache: dict = {}
     if args.experiment == "all":
         for name in known:
-            _run_one(name, scale, sweep_cache, args.executor)
+            # One dump per experiment: "out.json" → "out.fig6a.json" etc.
+            per_experiment = None
+            if args.json:
+                import os
+
+                stem, suffix = os.path.splitext(args.json)
+                per_experiment = f"{stem}.{name}{suffix}"
+            _run_one(
+                name, scale, sweep_cache, args.executor, args.quick,
+                per_experiment,
+            )
         return 0
     if args.experiment not in known:
         print(f"unknown experiment {args.experiment!r}; try 'list'",
               file=sys.stderr)
         return 2
-    _run_one(args.experiment, scale, sweep_cache, args.executor)
+    _run_one(
+        args.experiment, scale, sweep_cache, args.executor, args.quick,
+        args.json,
+    )
     return 0
 
 

@@ -32,6 +32,7 @@ from repro.core.config import FileSelectionMode, lethe_config
 from repro.core.engine import LSMEngine
 from repro.shard.engine import ShardedEngine
 from repro.shard.partitioner import HashPartitioner, RangePartitioner
+from repro.storage.persist import FaultInjector
 from repro.workloads.multi_tenant import MultiTenantSpec, MultiTenantWorkload
 from repro.workloads.spec import DeleteKeyMode
 
@@ -1123,6 +1124,218 @@ def parallel_scaling(
             "queued_ingest_wall": queued_ingest_wall,
             "ingest_speedup": ingest_speedup,
         },
+        report=report,
+    )
+
+
+# ======================================================================
+# WAL: group-commit policy sweep + serial vs pooled shard recovery
+# ======================================================================
+
+
+def wal_experiment(
+    scale: ExperimentScale = BENCH_SCALE,
+    policies: tuple[str, ...] = (
+        "every_op",
+        "group(16)",
+        "interval(20)",
+        "unsafe_none",
+    ),
+    shard_counts: tuple[int, ...] = (1, 2, 4),
+    real_io_seconds: float = 400e-6,
+    delete_fraction: float = 0.05,
+    wal_tail: int = 200,
+    quick: bool = False,
+) -> ExperimentResult:
+    """The durability hot path, measured (ROADMAP "durability follow-ups").
+
+    Two sweeps:
+
+    * **Ingest throughput vs commit policy** — one durable engine per
+      :class:`~repro.lsm.wal.CommitPolicy` spec replays the identical
+      delete-heavy stream with ``fsync`` on. ``every_op`` pays one
+      physical append (and fsync) per operation; ``group(n)`` and
+      ``interval(ms)`` amortize them over batches; ``unsafe_none`` only
+      drains at flush commits. Every run ends with ``sync()`` so all
+      acknowledged work is durable before the clock stops, and all runs
+      must recover to the identical read surface.
+    * **Recovery wall-clock vs shard count, serial vs pooled** — one
+      durable cluster per shard count holds the same total data; the
+      persisted config carries ``real_io_seconds``, so every recovery
+      waits on the device for each page it loads (preload runs with the
+      device model switched off). ``ShardedEngine.open`` dispatches
+      member recoveries through the executor: pooled recovery overlaps
+      the shards' device waits and must recover identical state.
+    """
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    if quick:
+        policies = tuple(p for p in policies if p != "interval(20)")
+        shard_counts = tuple(n for n in shard_counts if n in (1, max(shard_counts)))
+
+    ingest_ops, _query_ops, runtime = workload_for(
+        scale, delete_fraction, num_point_lookups=0
+    )
+    d_th = max(0.05 * runtime, 1e-3)
+    put_keys = [op[1] for op in ingest_ops if op[0] == "put"]
+    key_lo, key_hi = min(put_keys), max(put_keys)
+    sample_keys = sorted(set(put_keys))[::97]
+
+    # --- Part A: ingest throughput vs commit policy (fsync on) ---------
+    policy_rows = []
+    policy_series: dict = {
+        "policies": list(policies),
+        "ingest_ops_per_s": [],
+        "durable_writes": [],
+        "writes_per_op": [],
+    }
+    surfaces: dict[str, dict] = {}
+    for policy in policies:
+        workdir = _tempfile.mkdtemp(prefix="lethe-wal-")
+        try:
+            injector = FaultInjector(armed=True, record_labels=False)
+            engine = LSMEngine.open(
+                f"{workdir}/db",
+                config=lethe_config(
+                    d_th,
+                    delete_tile_pages=4,
+                    wal_commit_policy=policy,
+                    fsync=True,
+                    **scale.engine_overrides(),
+                ),
+                injector=injector,
+            )
+            started = time.perf_counter()
+            engine.ingest(ingest_ops)
+            engine.sync()
+            wall = time.perf_counter() - started
+            engine.close()
+            recovered = LSMEngine.open(f"{workdir}/db")
+            surfaces[policy] = {key: recovered.get(key) for key in sample_keys}
+            recovered.close()
+            throughput = len(ingest_ops) / wall
+            policy_series["ingest_ops_per_s"].append(throughput)
+            policy_series["durable_writes"].append(injector.writes)
+            policy_series["writes_per_op"].append(
+                injector.writes / len(ingest_ops)
+            )
+            policy_rows.append(
+                [
+                    policy,
+                    f"{wall:.3f}",
+                    _round(throughput),
+                    injector.writes,
+                    _round(injector.writes / len(ingest_ops)),
+                ]
+            )
+        finally:
+            _shutil.rmtree(workdir, ignore_errors=True)
+    reference = surfaces[policies[0]]
+    for policy, surface in surfaces.items():
+        if surface != reference:
+            raise AssertionError(
+                f"commit policy {policy} recovered a different surface"
+            )
+
+    # --- Part B: recovery wall-clock, serial vs pooled, per shard count
+    recovery_rows = []
+    recovery_series: dict = {
+        "shards": list(shard_counts),
+        "serial_recovery_s": [],
+        "pooled_recovery_s": [],
+        "recovery_speedups": [],
+        "real_io_seconds": real_io_seconds,
+    }
+    cluster_config = lethe_config(
+        1e9,  # D_th far away: part B isolates recovery dispatch
+        delete_tile_pages=4,
+        force_kiwi_layout=True,
+        wal_commit_policy="group(32)",
+        fsync=False,  # preload speed; part A covers the fsync path
+        real_io_seconds=real_io_seconds,
+        **scale.engine_overrides(),
+    )
+    preload = [op for op in ingest_ops if op[0] == "put"]
+    tail = preload[-wal_tail:] if wal_tail else []
+    body = preload[: len(preload) - len(tail)]
+    for n in shard_counts:
+        workdir = _tempfile.mkdtemp(prefix="lethe-wal-recovery-")
+        try:
+            cluster = ShardedEngine(
+                cluster_config,
+                partitioner=HashPartitioner(n),
+                store_path=f"{workdir}/cluster",
+            )
+            # Preload at zero device latency; the persisted CONFIG.json
+            # still carries the real model, which recovery honours.
+            for shard in cluster.shards:
+                shard.disk.real_io_seconds = 0.0
+            cluster.ingest(body)
+            cluster.flush()
+            cluster.ingest(tail)  # un-flushed WAL tail to replay
+            cluster.close()       # drain + release handles; tail survives
+
+            def timed_open(executor: str) -> tuple[float, tuple]:
+                started = time.perf_counter()
+                recovered = ShardedEngine.open(
+                    f"{workdir}/cluster", executor=executor
+                )
+                wall = time.perf_counter() - started
+                for shard in recovered.shards:
+                    shard.disk.real_io_seconds = 0.0
+                surface = recovered.scan(key_lo, key_hi + 1)
+                recovered.close()
+                return wall, (len(surface), hash(tuple(surface)))
+
+            serial_wall, serial_surface = timed_open("serial")
+            pooled_wall, pooled_surface = timed_open("pooled")
+            if serial_surface != pooled_surface:
+                raise AssertionError(
+                    f"pooled recovery diverged at {n} shards"
+                )
+            speedup = serial_wall / pooled_wall if pooled_wall > 0 else 0.0
+            recovery_series["serial_recovery_s"].append(serial_wall)
+            recovery_series["pooled_recovery_s"].append(pooled_wall)
+            recovery_series["recovery_speedups"].append(speedup)
+            recovery_rows.append(
+                [
+                    n,
+                    f"{serial_wall:.3f}",
+                    f"{pooled_wall:.3f}",
+                    f"{speedup:.2f}x",
+                    "yes",
+                ]
+            )
+        finally:
+            _shutil.rmtree(workdir, ignore_errors=True)
+
+    report = (
+        format_table(
+            ["commit policy", "ingest wall (s)", "ops/s", "durable writes",
+             "writes/op"],
+            policy_rows,
+            title=(
+                f"Group-commit WAL: ingest {len(ingest_ops)} ops "
+                f"({delete_fraction:.0%} deletes), fsync on, identical "
+                "recovered surface asserted"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["shards", "serial recovery (s)", "pooled recovery (s)",
+             "speedup", "identical state"],
+            recovery_rows,
+            title=(
+                f"Shard recovery (device latency "
+                f"{real_io_seconds*1e6:.0f} µs/page, {wal_tail}-op WAL "
+                "tail, serial vs pooled executor)"
+            ),
+        )
+    )
+    return ExperimentResult(
+        figure="WAL",
+        series={"policies": policy_series, "recovery": recovery_series},
         report=report,
     )
 

@@ -155,6 +155,21 @@ class EngineConfig:
         Block-cache capacity in pages for the query path (the paper's
         setup has "block cache enabled"); 0 (default) disables it so I/O
         counts reflect raw device traffic.
+    wal_commit_policy:
+        When durable WAL appends reach disk (group commit): ``every_op``
+        (default — one durable write per operation, the strictest and
+        slowest), ``group(n)`` (drain every ``n`` records), ``interval(ms)``
+        (drain when the oldest pending record is ``ms`` simulated
+        milliseconds old), or ``unsafe_none`` (only forced drains).
+        Parsed by :class:`~repro.lsm.wal.CommitPolicy`; ignored by
+        engines without a durable store. Flush/compaction/SRD commits and
+        checkpoints always force a drain, whatever the policy.
+    fsync:
+        When true (default), every durable write is followed by
+        ``os.fsync`` on the data file — and a directory fsync after
+        renames — so "committed" means on-media, not in the OS page
+        cache. Crash-test suites disable it for speed: the simulated
+        crash model kills between writes, never inside the kernel.
     """
 
     size_ratio: int = 10
@@ -181,6 +196,8 @@ class EngineConfig:
     force_kiwi_layout: bool = False
     fade_ttl_from_level_arrival: bool = False
     cache_pages: int = 0
+    wal_commit_policy: str = "every_op"
+    fsync: bool = True
 
     def __post_init__(self) -> None:
         if self.size_ratio < 2:
@@ -232,6 +249,10 @@ class EngineConfig:
             )
         if self.cache_pages < 0:
             raise ConfigError(f"cache_pages must be >= 0, got {self.cache_pages}")
+        try:
+            self.commit_policy
+        except ValueError as exc:
+            raise ConfigError(str(exc)) from exc
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -276,6 +297,13 @@ class EngineConfig:
     def fade_enabled(self) -> bool:
         """True when a delete persistence threshold is configured."""
         return self.delete_persistence_threshold is not None
+
+    @property
+    def commit_policy(self):
+        """The parsed :class:`~repro.lsm.wal.CommitPolicy`."""
+        from repro.lsm.wal import CommitPolicy  # lsm.wal has no config dep
+
+        return CommitPolicy.parse(self.wal_commit_policy)
 
     @property
     def kiwi_enabled(self) -> bool:

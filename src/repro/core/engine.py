@@ -192,6 +192,7 @@ class LSMEngine:
         overwritten = self.buffer.get(key)
         if overwritten is not None and overwritten.is_tombstone:
             self._nullify_tombstone_record(("p", key, overwritten.seqnum), now)
+            self.wal.void_tombstone(overwritten.seqnum)
         self.buffer.put(entry)
         self._note_key(key)
         self.stats.entries_ingested += 1
@@ -220,6 +221,14 @@ class LSMEngine:
         self.wal.append(seqnum, key, is_tombstone=True, now=now, payload=tombstone)
         record = self.stats.record_tombstone_insert(key, now)
         self._persistence_index[("p", key, seqnum)] = record
+        overwritten = self.buffer.get(key)
+        if overwritten is not None and overwritten.is_tombstone:
+            # The older buffered tombstone will never reach disk as
+            # itself (the buffer keeps one entry per key); the fresh
+            # tombstone carries the delete intent from here on, so the
+            # old WAL record must stop counting as a tombstone or the
+            # D_th routine drags a dead intent through every rewrite.
+            self.wal.void_tombstone(overwritten.seqnum)
         self.buffer.put(tombstone)
         self.stats.point_tombstones_ingested += 1
         self._maybe_flush()
@@ -595,34 +604,52 @@ class LSMEngine:
             step = min(check_interval, remaining)
             remaining -= step
             self.clock.advance(step)
-            self.idle_check()
+            self.idle_check(lookahead=check_interval)
         # Idle time leaves no WAL record; persist the clock so recovery
         # does not travel back to the last write's timestamp.
         if self._store is not None:
             self._store.write_clock(self.clock.now)
 
-    def idle_check(self) -> None:
+    def idle_check(self, lookahead: float = 0.0) -> None:
         """One TTL-expiry/compaction check at the current simulated time.
 
         Factored out of :meth:`advance_time` so a sharded cluster sharing
         one clock can advance it once and then run every member engine's
-        check at the same instant.
+        check at the same instant. ``lookahead`` is the caller's check
+        cadence: the buffer's ``d_0`` force-flush must fire at the last
+        check *before* the deadline, or a buffered tombstone would
+        always overstay its allowance by one interval (when the tree is
+        empty, ``d_0 = D_th``, so firing late breaks §4.1.5 outright).
         """
-        if self.config.fade_enabled and isinstance(self.policy, FADEPolicy):
+        self.enforce_delete_persistence(lookahead=lookahead)
+        self.run_pending_compactions()
+
+    def enforce_delete_persistence(self, lookahead: float = 0.0) -> None:
+        """Re-establish §4.1.5 at the current clock (no-op without FADE).
+
+        Two pieces: over-age *buffered* tombstones — past the buffer's
+        ``d_0`` allowance — force a flush so they enter the tree and
+        leave the log; then the ``D_th`` WAL routine drops or copies the
+        log segments themselves. Shared by the idle check, single-engine
+        crash recovery, and cluster clock reconciliation (a member
+        rebound to a later shared clock must re-run both at that clock).
+        """
+        if not self.config.fade_enabled:
+            return
+        if isinstance(self.policy, FADEPolicy):
             oldest = self.buffer.oldest_tombstone_time()
             if oldest is not None:
                 height = max(1, self.tree.deepest_nonempty_level())
                 d0 = self.policy.level_ttls(height)[0]
-                if self.clock.now - oldest > d0:
+                if self.clock.now - oldest > max(0.0, d0 - lookahead):
                     self.flush()
-            # §4.1.5's WAL routine runs periodically, not only at flush:
-            # idle time must not leave any live log segment older than
-            # D_th (live records are copied forward, flushed ones drop).
-            if self.config.delete_persistence_threshold:
-                self.wal.enforce_persistence_threshold(
-                    self.clock.now, self.config.delete_persistence_threshold
-                )
-        self.run_pending_compactions()
+        # §4.1.5's WAL routine runs periodically, not only at flush:
+        # idle time must not leave any live log segment older than
+        # D_th (live records are copied forward, flushed ones drop).
+        if self.config.delete_persistence_threshold:
+            self.wal.enforce_persistence_threshold(
+                self.clock.now, self.config.delete_persistence_threshold
+            )
 
     def force_full_compaction(self) -> None:
         """The state of the art's forced persistence (full-tree compaction)."""
@@ -662,6 +689,28 @@ class LSMEngine:
             raise LetheError("checkpoint() requires a durable store")
         self.flush()
         self._store.checkpoint()
+
+    def sync(self) -> None:
+        """Force-drain group-committed WAL batches (no-op without a store).
+
+        Under ``group(n)``/``interval(ms)``/``unsafe_none`` commit
+        policies, acknowledged operations may sit in the store's pending
+        batch; ``sync()`` is the explicit durability barrier that puts
+        them on disk (the analogue of a client-requested fsync).
+        """
+        if self._store is not None:
+            self._store.wal_sync()
+
+    def close(self) -> None:
+        """Drain pending durable state and release open file handles.
+
+        Purely in-memory engines have nothing to release. A process that
+        exits *without* closing models a crash: whatever the commit
+        policy had not yet drained is lost, which is exactly the
+        trade-off the policy spec names.
+        """
+        if self._store is not None:
+            self._store.close()
 
     # ------------------------------------------------------------------
     # Bulk loading convenience

@@ -169,11 +169,11 @@ def recover_engine(
             )
 
     # §4.1.5 across restarts: the recovered WAL must re-satisfy the D_th
-    # invariant at the recovered clock before the engine serves traffic.
-    if config.fade_enabled and config.delete_persistence_threshold:
-        engine.wal.enforce_persistence_threshold(
-            engine.clock.now, config.delete_persistence_threshold
-        )
+    # invariant at the recovered clock before the engine serves traffic —
+    # over-age tombstones in the replayed buffer tail force a flush (the
+    # buffer's d_0 allowance), then the WAL routine drops or copies the
+    # log segments themselves.
+    engine.enforce_delete_persistence()
 
     engine.last_recovery = info
     return engine
@@ -204,6 +204,11 @@ def _rebuild_tree(
                     level=number,
                     level_arrival_time=arrival,
                 )
+                # The restart waits on the device for every page it
+                # loads (uncharged: recovered stats start fresh). The
+                # sleep releases the GIL — what pooled shard recovery
+                # overlaps.
+                engine.disk.device_wait(run_file.num_pages)
                 files.append(run_file)
                 info.files_loaded += 1
                 max_file_number = max(max_file_number, file_number)
@@ -360,6 +365,11 @@ def _replay_wal(
                 engine._persistence_index[
                     ("p", payload.key, payload.seqnum)
                 ] = persistence
+                overwritten = engine.buffer.get(payload.key)
+                if overwritten is not None and overwritten.is_tombstone:
+                    # Tombstone over tombstone: re-void the superseded
+                    # record, as LSMEngine.delete did pre-crash.
+                    engine.wal.void_tombstone(overwritten.seqnum)
             else:
                 overwritten = engine.buffer.get(payload.key)
                 if overwritten is not None and overwritten.is_tombstone:
@@ -367,6 +377,11 @@ def _replay_wal(
                         ("p", payload.key, overwritten.seqnum),
                         payload.write_time,
                     )
+                    # Re-void the superseded tombstone's recovered WAL
+                    # record: the durable segment file resurrects the
+                    # flag, and the D_th routine must not carry the dead
+                    # delete intent forward (mirrors LSMEngine.put).
+                    engine.wal.void_tombstone(overwritten.seqnum)
             engine.buffer.put(payload)
             engine._note_key(payload.key)
         else:

@@ -23,18 +23,28 @@ needing any additional metadata".
 from __future__ import annotations
 
 import abc
-import itertools
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.storage.entry import Entry, RangeTombstone
 
-_file_counter = itertools.count()
+# One lock covers both allocation and the recovery-path ratchet: parallel
+# shard recovery calls ensure_file_numbers_above() from pool threads while
+# an SRD roll-forward on a sibling shard may be allocating, and an
+# unguarded read-bump-replace could rewind the counter into numbers
+# already handed out.
+_counter_lock = threading.Lock()
+_next_file_number = 0
 
 
 def next_file_number() -> int:
     """Process-wide unique file number (labels files across engines)."""
-    return next(_file_counter)
+    global _next_file_number
+    with _counter_lock:
+        number = _next_file_number
+        _next_file_number += 1
+        return number
 
 
 def ensure_file_numbers_above(minimum: int) -> None:
@@ -44,9 +54,9 @@ def ensure_file_numbers_above(minimum: int) -> None:
     files built afterwards must not collide with them. Gaps are fine —
     only uniqueness and monotonicity matter.
     """
-    global _file_counter
-    current = next(_file_counter)
-    _file_counter = itertools.count(max(current, minimum + 1))
+    global _next_file_number
+    with _counter_lock:
+        _next_file_number = max(_next_file_number, minimum + 1)
 
 
 @dataclass

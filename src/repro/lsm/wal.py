@@ -21,10 +21,89 @@ persistence-guarantee property, including across crash recovery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import re
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.errors import WALError
+
+_POLICY_PATTERN = re.compile(
+    r"^(?:(every_op|unsafe_none)|(group)\((\d+)\)|(interval)\((\d+(?:\.\d+)?)\))$"
+)
+
+
+@dataclass(frozen=True)
+class CommitPolicy:
+    """When buffered WAL appends become durable (group commit, §4.1.5).
+
+    The durable backend batches WAL records per segment and drains the
+    batch to disk at *commit points*. The policy decides where the
+    ordinary append path places them; flush/compaction/SRD commits and
+    ``checkpoint()`` always force a drain regardless, so the manifest
+    commit protocol never outruns its WAL.
+
+    Specs (the :class:`~repro.core.config.EngineConfig.wal_commit_policy`
+    string):
+
+    ``every_op``
+        Drain after every record — one durable write (and, with
+        ``fsync``, one fsync) per operation. The pre-group-commit
+        behaviour and the default: nothing acknowledged is ever lost.
+    ``group(n)``
+        Drain once ``n`` records are pending. A crash may lose up to
+        ``n - 1`` acknowledged operations (never a torn suffix — the
+        batch is one physical append).
+    ``interval(ms)``
+        Drain when the oldest pending record is ``ms`` *simulated*
+        milliseconds old at the next append. Simulated time (the
+        ingestion-driven clock) keeps crash enumeration deterministic;
+        at the default 1024 ops/s, ``interval(10)`` batches ~10 records.
+    ``unsafe_none``
+        Never drain on the append path; only forced drains (flush /
+        compaction / SRD commits, ``checkpoint()``, ``sync()``) persist
+        the log. Maximum throughput, loses the whole un-drained tail.
+    """
+
+    kind: str = "every_op"
+    group_size: int = 1
+    interval_ms: float = 0.0
+
+    @classmethod
+    def parse(cls, spec: str) -> "CommitPolicy":
+        """Parse a policy spec string; raises :class:`ValueError`."""
+        match = _POLICY_PATTERN.match(spec.strip())
+        if match is None:
+            raise ValueError(
+                f"bad commit policy {spec!r}; expected every_op, group(n), "
+                "interval(ms), or unsafe_none"
+            )
+        bare, group, n, interval, ms = match.groups()
+        if bare:
+            return cls(kind=bare)
+        if group:
+            if int(n) < 1:
+                raise ValueError(f"group size must be >= 1, got {n}")
+            return cls(kind="group", group_size=int(n))
+        if float(ms) <= 0:
+            raise ValueError(f"interval must be positive, got {ms}")
+        return cls(kind="interval", interval_ms=float(ms))
+
+    def should_drain(self, pending_records: int, oldest_age_seconds: float) -> bool:
+        """Does the append path drain now? (Forced drains ignore this.)"""
+        if self.kind == "every_op":
+            return True
+        if self.kind == "group":
+            return pending_records >= self.group_size
+        if self.kind == "interval":
+            return oldest_age_seconds * 1000.0 >= self.interval_ms
+        return False  # unsafe_none
+
+    def describe(self) -> str:
+        if self.kind == "group":
+            return f"group({self.group_size})"
+        if self.kind == "interval":
+            return f"interval({self.interval_ms:g})"
+        return self.kind
 
 
 @dataclass(frozen=True)
@@ -115,6 +194,30 @@ class WriteAheadLog:
         segment.records.append(record)
         if self.sink is not None:
             self.sink.wal_append(segment, record)
+
+    def void_tombstone(self, seqnum: int) -> None:
+        """Clear the tombstone flag of a superseded live record.
+
+        A buffered point tombstone overwritten by a newer put carries no
+        delete intent any more (the engine nullifies its persistence
+        record at the same moment); without this, the ``D_th`` routine
+        would copy the dead intent to fresh segments forever and the
+        record-age half of §4.1.5's invariant could never be met. Only
+        the flag flips — the payload stays, so WAL replay still
+        reproduces the exact buffer history (the superseding put, which
+        must also be live, lands right after it).
+        """
+        # Newest segments first: the superseded tombstone is still
+        # buffered, so it lives near the tail of the log.
+        for segment in reversed(self._segments):
+            if segment.records and segment.records[0].seqnum > seqnum:
+                continue
+            for index, record in enumerate(segment.records):
+                if record.seqnum == seqnum and record.is_tombstone:
+                    segment.records[index] = replace(
+                        record, is_tombstone=False
+                    )
+                    return
 
     # ------------------------------------------------------------------
     # Purge paths

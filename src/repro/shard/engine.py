@@ -321,11 +321,19 @@ class ShardedEngine:
 
         Reads the last intact ``TOPOLOGY.log`` record, recovers every
         member engine from its shard directory (manifest + WAL replay,
-        see :mod:`repro.lsm.recovery`) onto one shared clock advanced to
-        the latest recovered instant, and rebuilds the partitioner.
-        Shard directories not referenced by the record — orphans of a
-        reshard that crashed before its topology commit — are ignored
-        and removed.
+        see :mod:`repro.lsm.recovery`), and rebuilds the partitioner.
+        Member recoveries dispatch through the chosen executor — shard
+        directories share nothing, so ``executor="pooled"`` overlaps
+        their device waits and recovers the cluster in parallel. Each
+        member recovers on a private clock; after the join the clocks
+        are *reconciled* deterministically: one shared clock advances to
+        the latest recovered instant (a max — independent of dispatch
+        order), every member rebinds to it, and FADE members re-run the
+        ``D_th`` WAL routine at the shared instant so §4.1.5 holds
+        against the cluster clock, not each shard's private one. Shard
+        directories not referenced by the record — orphans of a reshard
+        that crashed before its topology commit — are ignored and
+        removed.
         """
         from repro.lsm.recovery import recover_engine  # local to avoid cycle
 
@@ -349,19 +357,37 @@ class ShardedEngine:
         partitioner = _partitioner_from_dict(topology_record["partitioner"])
         shard_dirs = list(topology_record["shard_dirs"])
 
-        clock: SimulatedClock | None = None
-        members: list[LSMEngine] = []
-        for dirname in shard_dirs:
-            engine = recover_engine(root / dirname, clock=clock, injector=injector)
-            clock = engine.clock
-            members.append(engine)
+        executor_obj = make_executor(executor)
+        members: list[LSMEngine] = executor_obj.run(
+            [
+                (
+                    lambda dirname=dirname: recover_engine(
+                        root / dirname, injector=injector
+                    )
+                )
+                for dirname in shard_dirs
+            ]
+        )
+        clock = SimulatedClock(members[0].config.ingestion_rate)
+        recovered_now = max(member.clock.now for member in members)
+        if recovered_now > 0:
+            clock.advance(recovered_now)
+        for member in members:
+            member.clock = clock
+            # The full §4.1.5 pair at the *shared* clock: a member whose
+            # private recovered clock trailed the cluster may hold a
+            # buffered tombstone or WAL segment that is over-age only at
+            # the reconciled instant (d_0 flush included — the WAL
+            # routine alone would copy a live over-age tombstone forward
+            # instead of persisting it).
+            member.enforce_delete_persistence()
 
         cluster = cls(
             members[0].config,
             partitioner=partitioner,
             clock=clock,
             max_batch=max_batch,
-            executor=executor,
+            executor=executor_obj,
             ingest_queue_depth=ingest_queue_depth,
             injector=injector,
             _members=members,
@@ -419,6 +445,37 @@ class ShardedEngine:
                 topology.partitioner.all_shards(),
                 lambda shard: shard.checkpoint(),
             )
+
+    def sync(self) -> None:
+        """Force-drain every member's pending WAL batches.
+
+        The cluster-wide durability barrier for group-committed commit
+        policies (see :class:`~repro.lsm.wal.CommitPolicy`); a no-op for
+        in-memory clusters.
+        """
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.sync(),
+            )
+
+    def close(self) -> None:
+        """Drain and close every member store, then retire the executor.
+
+        Exiting *without* closing models a crash: each member's
+        un-drained WAL batch is lost, exactly as its commit policy
+        documents.
+        """
+        with self._gate.shared():
+            topology = self._topology
+            self._fan_out(
+                topology,
+                topology.partitioner.all_shards(),
+                lambda shard: shard.close(),
+            )
+        self.executor.close()
 
     # ------------------------------------------------------------------
     # Topology access
@@ -585,7 +642,7 @@ class ShardedEngine:
                 self._fan_out(
                     topology,
                     topology.partitioner.all_shards(),
-                    lambda shard: shard.idle_check(),
+                    lambda shard: shard.idle_check(lookahead=check_interval),
                 )
             # Idle time leaves no per-shard WAL record; persist the
             # shared clock on every durable member (cluster analogue of

@@ -75,6 +75,20 @@ class SimulatedDisk:
         if self.real_io_seconds > 0.0 and pages > 0:
             time.sleep(pages * self.real_io_seconds)
 
+    def device_wait(self, pages: int) -> None:
+        """The physical wait for ``pages`` page reads, without the
+        accounting charge.
+
+        Crash recovery uses this when it loads run blobs: the restart
+        genuinely waits on the device (and the sleep releases the GIL,
+        which is what pooled per-shard recovery overlaps), but recovered
+        engines start with fresh statistics — charging the load into
+        ``pages_read`` would pollute every post-restart metric.
+        """
+        if pages < 0:
+            raise StorageError(f"negative wait ({pages} pages)")
+        self._device_wait(pages)
+
     # ------------------------------------------------------------------
     # Allocation
     # ------------------------------------------------------------------

@@ -13,17 +13,27 @@ gives one engine a real directory:
     :class:`~repro.lsm.wal.WriteAheadLog` segment for segment. Records
     carry the *full* operation payload (entry or range tombstone, durable
     codec of :mod:`repro.storage.serialization`), so the un-flushed tail
-    of the engine can be replayed after a restart. Segment files are
-    deleted when the flush watermark passes them and rewritten by the
-    FADE ``D_th`` routine — §4.1.5's persistence guarantee therefore
-    holds on disk, not just in memory.
+    of the engine can be replayed after a restart. Appends are *group
+    committed*: records buffer in a per-segment appender (file handle
+    kept open) and reach disk as framed batches at the points the
+    configured :class:`~repro.lsm.wal.CommitPolicy` dictates — every
+    record (``every_op``, the default), every ``n`` records
+    (``group(n)``), on a simulated-time interval (``interval(ms)``), or
+    only at forced drains (``unsafe_none``). Manifest commits always
+    force a drain first, so the commit point never outruns its WAL.
+    Segment files are deleted when the flush watermark passes them and
+    rewritten by the FADE ``D_th`` routine (its own ``wal-rewrite``
+    crash point) — §4.1.5's persistence guarantee therefore holds on
+    disk, not just in memory.
 ``runs/<file_number>.<generation>.run``
-    One immutable blob per live run file, written with a temp-file +
-    ``os.replace`` dance so a blob is either wholly present or absent.
-    KiWi secondary range deletes mutate files in place (page drops); the
-    store detects the mutation at the next commit and writes the file
-    under a bumped *generation* — the old blob stays valid until the
-    manifest commits the new one.
+    One blob per live run file, written with a temp-file + ``os.replace``
+    dance so a blob is either wholly present or absent. KiWi secondary
+    range deletes mutate files in place (page drops); the store detects
+    the mutation at the next commit and appends a framed *shape delta*
+    (surviving pages by base-entry ordinal, plus refreshed metadata) to
+    the existing blob — the base section stays valid, decoding applies
+    the last intact delta, and a mutation that is not a pure shrink
+    falls back to a full rewrite under a bumped *generation*.
 ``MANIFEST.log``
     The commit log. Every flush/compaction/secondary-delete appends one
     framed record carrying the complete tree layout (levels → runs →
@@ -46,9 +56,23 @@ Every physical write funnels through a :class:`FaultInjector` hook. The
 default injector only counts; :class:`CrashPoint` raises
 :class:`SimulatedCrash` once its budget of allowed writes is exhausted —
 *before* the write happens, so crash point *k* means "the process died
-between durable write *k* and durable write *k + 1*". ``tests/crash/``
+between durable write *k* and durable write *k + 1*". A group-committed
+WAL batch is **one** boundary (labelled ``wal-append[n]`` with the
+batch's record count): durable state advances whole batches, so
+recovery always lands on an exact operation prefix. ``tests/crash/``
 enumerates every such boundary for generated operation sequences and
-asserts recovery equals the dict model.
+asserts recovery equals the dict model (before/after the in-flight
+operation under ``every_op``; the acknowledged-prefix oracle under the
+batched policies).
+
+fsync
+-----
+When ``EngineConfig.fsync`` is on (the default), every data-file write
+is fsynced and every rename/unlink is followed by a directory fsync, so
+"committed" means on-media rather than in the OS page cache. The crash
+suites disable it for speed — the simulated injector kills between
+writes, never inside the kernel — and a dedicated unit test keeps the
+fsync path itself exercised.
 """
 
 from __future__ import annotations
@@ -69,7 +93,7 @@ from repro.core.config import (
     MergePolicy,
 )
 from repro.core.errors import PersistenceError
-from repro.lsm.wal import WALRecord, WALSegment
+from repro.lsm.wal import CommitPolicy, WALRecord, WALSegment
 from repro.storage.entry import Entry, RangeTombstone
 from repro.storage.serialization import (
     decode_durable_entry,
@@ -126,27 +150,38 @@ class FaultInjector:
     at-k harness workflow replay a different boundary than it counted.
     """
 
-    def __init__(self, armed: bool = True):
+    def __init__(self, armed: bool = True, record_labels: bool = True):
         self.writes = 0
         self.armed = armed
+        # Labels of the boundaries permitted so far, in order: lets a
+        # harness find the index of a specific boundary type (say, the
+        # D_th rewrite) and aim a CrashPoint exactly there. Long-lived
+        # counting injectors (benches) pass ``record_labels=False`` so
+        # the trace does not grow one string per write forever.
+        self.record_labels = record_labels
+        self.labels: list[str] = []
         self._lock = threading.Lock()
 
     def before_write(self, label: str) -> None:
         """Called immediately before every physical write, with a label
-        naming the boundary (``wal-append``, ``run-blob``, ``manifest``,
+        naming the boundary (``wal-append[n]`` with the batch's record
+        count, ``wal-rewrite``, ``run-blob``, ``run-delta``, ``manifest``,
         ``wal-purge``, ``blob-prune``, ``clock``, ``config``,
-        ``manifest-snapshot``, ``topology``)."""
+        ``manifest-snapshot``, ``topology``, ``torn-truncate``,
+        ``tmp-sweep``)."""
         if not self.armed:
             return
         with self._lock:
             self.writes += 1
+            if self.record_labels:
+                self.labels.append(label)
 
 
 class CrashPoint(FaultInjector):
     """Crash after ``allow_writes`` durable writes have been permitted."""
 
     def __init__(self, allow_writes: int, armed: bool = True):
-        super().__init__(armed=armed)
+        super().__init__(armed=armed, record_labels=True)
         if allow_writes < 0:
             raise PersistenceError(
                 f"allow_writes must be >= 0, got {allow_writes}"
@@ -162,6 +197,7 @@ class CrashPoint(FaultInjector):
                     f"crash point hit before write #{self.writes + 1} ({label})"
                 )
             self.writes += 1
+            self.labels.append(label)
 
 
 # ---------------------------------------------------------------------------
@@ -228,6 +264,32 @@ class StoreState:
     clock_now: float
 
 
+class _SegmentAppender:
+    """Open handle + pending record batch for one durable WAL segment.
+
+    The group-commit layer accumulates encoded frames here and writes
+    them in one physical append at a commit point. The file handle stays
+    open across batches — the per-put open/close of the original
+    one-frame-per-append path was most of the durability hot path's
+    cost. ``pending_opened_at`` is the simulated time of the oldest
+    pending record (drives ``interval(ms)`` policies).
+    """
+
+    __slots__ = ("path", "handle", "pending", "pending_records", "pending_opened_at")
+
+    def __init__(self, path: Path):
+        self.path = path
+        self.handle = None
+        self.pending = bytearray()
+        self.pending_records = 0
+        self.pending_opened_at: float | None = None
+
+    def close(self) -> None:
+        if self.handle is not None:
+            self.handle.close()
+            self.handle = None
+
+
 class DurableStore:
     """One engine's durable directory. See the module docstring for the
     on-disk layout and the commit protocol."""
@@ -240,6 +302,14 @@ class DurableStore:
         # last blob written; mutation detection for KiWi page drops.
         self._recorded: dict[int, tuple[int, tuple[int, int]]] = {}
         self._pending_srds: list[dict] = []
+        self._policy = CommitPolicy()
+        self._fsync = True
+        self._appenders: dict[int, _SegmentAppender] = {}
+
+    def _configure(self, config: EngineConfig) -> None:
+        """Adopt the durability knobs (commit policy, fsync) of ``config``."""
+        self._policy = config.commit_policy
+        self._fsync = config.fsync
 
     # ------------------------------------------------------------------
     # Construction
@@ -261,6 +331,7 @@ class DurableStore:
         store.path.mkdir(parents=True, exist_ok=True)
         store._wal_dir.mkdir(exist_ok=True)
         store._runs_dir.mkdir(exist_ok=True)
+        store._configure(config)
         store._write_atomic(
             store._config_path,
             json.dumps(config_to_dict(config), sort_keys=True).encode("utf-8"),
@@ -272,13 +343,44 @@ class DurableStore:
     def open(
         cls, path: str | Path, injector: FaultInjector | None = None
     ) -> "DurableStore":
-        """Bind to an existing store directory (for recovery)."""
+        """Bind to an existing store directory (for recovery).
+
+        Sweeps ``*.tmp`` orphans first: a crash between a temp file's
+        write and its ``os.replace`` strands the temp file, and appends
+        (WAL, manifest) must never resume next to stale garbage that a
+        later atomic write could trip over.
+        """
         store = cls(path, injector)
         if not store._config_path.exists():
             raise PersistenceError(f"{store.path} holds no durable store")
         store._wal_dir.mkdir(exist_ok=True)
         store._runs_dir.mkdir(exist_ok=True)
+        store._configure(
+            config_from_dict(
+                json.loads(store._config_path.read_text(encoding="utf-8"))
+            )
+        )
+        store._sweep_tmp_orphans()
         return store
+
+    def _sweep_tmp_orphans(self) -> None:
+        orphans = [
+            candidate
+            for directory in (self.path, self._wal_dir, self._runs_dir)
+            for candidate in directory.glob("*.tmp")
+        ]
+        if not orphans:
+            return
+        self.injector.before_write("tmp-sweep")
+        for orphan in orphans:
+            orphan.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        """Drain pending WAL batches and release the open segment handles."""
+        self.wal_sync()
+        for appender in self._appenders.values():
+            appender.close()
+        self._appenders.clear()
 
     def attach(self, engine: Any) -> None:
         """Bind the engine whose state this store snapshots at commits."""
@@ -318,48 +420,139 @@ class DurableStore:
     # Physical write primitives (every one is a crash boundary)
     # ------------------------------------------------------------------
 
+    def _fsync_handle(self, handle) -> None:
+        if self._fsync:
+            os.fsync(handle.fileno())
+
+    def _fsync_dir(self, directory: Path) -> None:
+        """Make a rename/unlink durable: fsync the containing directory."""
+        if not self._fsync:
+            return
+        fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
     def _write_atomic(self, target: Path, data: bytes, label: str) -> None:
         self.injector.before_write(label)
         tmp = target.with_name(target.name + ".tmp")
-        tmp.write_bytes(data)
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            self._fsync_handle(handle)
         os.replace(tmp, target)
+        self._fsync_dir(target.parent)
 
     def _append_frame(self, target: Path, payload: bytes, label: str) -> None:
         self.injector.before_write(label)
         with open(target, "ab") as handle:
             handle.write(frame_bytes(payload))
             handle.flush()
+            self._fsync_handle(handle)
 
     def _unlink_all(self, paths: list[Path], label: str) -> None:
         if not paths:
             return
         self.injector.before_write(label)
+        parents = {target.parent for target in paths}
         for target in paths:
             target.unlink(missing_ok=True)
+        for parent in parents:
+            self._fsync_dir(parent)
 
     # ------------------------------------------------------------------
     # WAL sink protocol (driven by WriteAheadLog)
     # ------------------------------------------------------------------
 
     def wal_append(self, segment: WALSegment, record: WALRecord) -> None:
-        """Mirror one appended record into the segment's durable file."""
-        target = self._segment_path(segment.segment_id)
-        blob = _encode_wal_record(record)
-        if not target.exists():
-            header = json.dumps(
-                {"segment_id": segment.segment_id, "opened_at": segment.opened_at}
-            ).encode("utf-8")
-            self.injector.before_write("wal-append")
-            with open(target, "wb") as handle:
-                handle.write(_WAL_MAGIC)
-                handle.write(frame_bytes(header))
-                handle.write(frame_bytes(blob))
-                handle.flush()
-            return
-        self._append_frame(target, blob, label="wal-append")
+        """Buffer one appended record; drain where the commit policy says.
+
+        Records accumulate in the segment's :class:`_SegmentAppender` and
+        reach disk as one framed batch (a single crash boundary labelled
+        ``wal-append[n]`` with the batch's record count) — the group
+        commit of §4.1.5's WAL lifecycle. ``every_op`` drains here on
+        every call, reproducing the original record-per-write boundaries
+        exactly; the other policies trade bounded loss of *acknowledged
+        but undrained* operations for fewer physical writes and fsyncs.
+        Durable state always advances whole batches, so recovery lands on
+        an exact operation prefix, never a torn suffix.
+        """
+        appender = self._appenders.get(segment.segment_id)
+        if appender is None:
+            appender = _SegmentAppender(self._segment_path(segment.segment_id))
+            if not appender.path.exists():
+                header = json.dumps(
+                    {
+                        "segment_id": segment.segment_id,
+                        "opened_at": segment.opened_at,
+                    }
+                ).encode("utf-8")
+                appender.pending += _WAL_MAGIC + frame_bytes(header)
+            self._appenders[segment.segment_id] = appender
+        appender.pending += frame_bytes(_encode_wal_record(record))
+        appender.pending_records += 1
+        if appender.pending_opened_at is None:
+            appender.pending_opened_at = record.written_at
+        if self._policy.should_drain(
+            self._pending_wal_records(),
+            record.written_at - self._oldest_pending_at(record.written_at),
+        ):
+            self.wal_sync()
+
+    def _pending_wal_records(self) -> int:
+        return sum(a.pending_records for a in self._appenders.values())
+
+    def _oldest_pending_at(self, default: float) -> float:
+        return min(
+            (
+                a.pending_opened_at
+                for a in self._appenders.values()
+                if a.pending_opened_at is not None
+            ),
+            default=default,
+        )
+
+    def wal_sync(self) -> None:
+        """Force-drain every pending WAL batch (a group-commit point).
+
+        Called by every manifest commit before the commit record is
+        appended — the commit point must never outrun the WAL — and by
+        :meth:`checkpoint`/:meth:`close`. Each segment's batch is one
+        physical append: one injector boundary, one fsync.
+        """
+        for segment_id in sorted(self._appenders):
+            appender = self._appenders[segment_id]
+            if not appender.pending_records and not appender.pending:
+                continue
+            self.injector.before_write(
+                f"wal-append[{appender.pending_records}]"
+            )
+            if appender.handle is None:
+                appender.handle = open(appender.path, "ab")
+            appender.handle.write(bytes(appender.pending))
+            appender.handle.flush()
+            self._fsync_handle(appender.handle)
+            appender.pending = bytearray()
+            appender.pending_records = 0
+            appender.pending_opened_at = None
+
+    def _drop_appenders(self, segment_ids: list[int]) -> None:
+        """Discard appender state for segments leaving the live set.
+
+        Pending records in a purged segment are already covered by the
+        flush watermark (the flush commit drained them); pending records
+        in a D_th-dropped segment were either flushed or copied into the
+        rewrite's fresh segment, which is written whole.
+        """
+        for segment_id in segment_ids:
+            appender = self._appenders.pop(segment_id, None)
+            if appender is not None:
+                appender.close()
 
     def wal_purge(self, segment_ids: list[int]) -> None:
         """Delete segment files wholly below the flush watermark."""
+        self._drop_appenders(segment_ids)
         self._unlink_all(
             [self._segment_path(sid) for sid in segment_ids], label="wal-purge"
         )
@@ -371,7 +564,10 @@ class DurableStore:
 
         A crash between the two leaves the live records duplicated across
         the fresh and the over-age segments; WAL replay de-duplicates by
-        sequence number, so the overlap is harmless.
+        sequence number, so the overlap is harmless. The fresh segment is
+        written under its own ``wal-rewrite`` crash point so fault
+        injection can target the D_th rewrite boundary distinctly from
+        ordinary appends.
         """
         if fresh is not None:
             header = json.dumps(
@@ -381,7 +577,7 @@ class DurableStore:
             for record in fresh.records:
                 blob += frame_bytes(_encode_wal_record(record))
             self._write_atomic(
-                self._segment_path(fresh.segment_id), blob, label="wal-append"
+                self._segment_path(fresh.segment_id), blob, label="wal-rewrite"
             )
         self.wal_purge(dropped_ids)
 
@@ -424,6 +620,7 @@ class DurableStore:
         so the new watermark is passed in explicitly).
         """
         engine = self._require_engine()
+        self.wal_sync()
         if watermark is None:
             watermark = engine.wal.flushed_seqnum
         self._pending_srds = [
@@ -432,7 +629,8 @@ class DurableStore:
 
         def materialize(run_file: Any) -> int:
             """Blob generation for this file, writing a new blob if the
-            file is unrecorded or was mutated (KiWi page drops)."""
+            file is unrecorded, or appending a shape delta if it was
+            mutated in place (KiWi delete-tile page drops)."""
             number = run_file.meta.file_number
             signature = (run_file.meta.num_entries, run_file.num_pages)
             recorded = self._recorded.get(number)
@@ -440,8 +638,12 @@ class DurableStore:
                 generation = 0
                 self._write_run(run_file, generation)
             elif recorded[1] != signature:
-                generation = recorded[0] + 1
-                self._write_run(run_file, generation)
+                generation = recorded[0]
+                if not self._append_run_delta(run_file, generation):
+                    # Not a pure shrink (defensive): fall back to a full
+                    # rewrite under a bumped generation.
+                    generation += 1
+                    self._write_run(run_file, generation)
             else:
                 generation = recorded[0]
             self._recorded[number] = (generation, signature)
@@ -469,6 +671,7 @@ class DurableStore:
         fresh checkpoint replays nothing.
         """
         engine = self._require_engine()
+        self.wal_sync()
         self.write_clock(engine.clock.now)
 
         def recorded_generation(run_file: Any) -> int:
@@ -496,6 +699,9 @@ class DurableStore:
             label="manifest-snapshot",
         )
         live_ids = {segment.segment_id for segment in engine.wal.segments}
+        self._drop_appenders(
+            [sid for sid in list(self._appenders) if sid not in live_ids]
+        )
         stale = [
             path
             for path in self._wal_dir.glob("*.log")
@@ -579,12 +785,78 @@ class DurableStore:
             label="run-blob",
         )
 
+    def _append_run_delta(self, run_file: Any, generation: int) -> bool:
+        """Persist a delete-tile-only mutation as an appended shape delta.
+
+        KiWi secondary range deletes only ever *remove* entries from a
+        file (full and partial page drops); the surviving content is a
+        subset of what the blob already stores. Instead of rewriting the
+        whole blob under a bumped generation, one framed delta record is
+        appended naming the surviving pages by their ordinals in the
+        blob's base entry section (entries are identified by seqnum,
+        which is unique per engine) plus the updated file metadata.
+        Decoding applies the *last* intact delta; a torn delta falls back
+        to the previous shape, which the SRD's durable intent record
+        rolls forward at recovery. Returns ``False`` when the mutation is
+        not expressible as a subset (the caller then falls back to a full
+        generation rewrite).
+        """
+        from repro.kiwi.layout import KiWiFile  # layout imports storage
+
+        if not isinstance(run_file, KiWiFile):
+            return False
+        target = self._run_path(run_file.meta.file_number, generation)
+        if not target.exists():
+            return False
+        blob = target.read_bytes()
+        if not blob.startswith(_RUN_MAGIC):
+            return False
+        frames = list(read_frames(blob, len(_RUN_MAGIC)))
+        if len(frames) < 3:
+            return False
+        entries_blob = frames[1]
+        ordinal_by_seqnum: dict[int, int] = {}
+        cursor = 0
+        while cursor < len(entries_blob):
+            entry, cursor = decode_durable_entry(entries_blob, cursor)
+            ordinal_by_seqnum[entry.seqnum] = len(ordinal_by_seqnum)
+        tiles = []
+        for tile in run_file.tiles:
+            pages = []
+            for page in tile.pages:
+                ordinals = []
+                for entry in page:
+                    ordinal = ordinal_by_seqnum.get(entry.seqnum)
+                    if ordinal is None:
+                        return False
+                    ordinals.append(ordinal)
+                pages.append(ordinals)
+            tiles.append(
+                {"min": tile.min_key, "max": tile.max_key, "pages": pages}
+            )
+        payload = json.dumps(
+            {
+                "delta": 1,
+                "meta": _meta_to_dict(run_file.meta),
+                "tiles": tiles,
+            },
+            sort_keys=True,
+        ).encode("utf-8")
+        self._append_frame(target, payload, label="run-delta")
+        return True
+
     def read_run(self, file_number: int, generation: int) -> RecoveredRun:
-        """Decode one run blob (recovery path)."""
+        """Decode one run blob, deltas applied (recovery path)."""
         target = self._run_path(file_number, generation)
         if not target.exists():
             raise PersistenceError(f"missing run blob {target.name}")
-        return _decode_run(target.read_bytes())
+        blob = target.read_bytes()
+        if not blob.startswith(_RUN_MAGIC):
+            raise PersistenceError("run blob has a bad magic header")
+        # Delta appends resume at end-of-file, so a torn trailing delta
+        # (real mid-write crash) must be truncated away like any log tail.
+        self._truncate_if_torn(target, blob, len(_RUN_MAGIC))
+        return _decode_run(blob)
 
     # ------------------------------------------------------------------
     # Load
@@ -607,7 +879,7 @@ class DurableStore:
             blob = self._manifest_path.read_bytes()
             for payload in read_frames(blob):
                 records.append(json.loads(payload.decode("utf-8")))
-            self._truncate_torn_tail(self._manifest_path, blob, 0)
+            self._truncate_if_torn(self._manifest_path, blob, 0)
         manifest = records[-1] if records else None
 
         segments: list[RecoveredSegment] = []
@@ -620,7 +892,7 @@ class DurableStore:
                 # damage.
                 path.unlink(missing_ok=True)
                 continue
-            self._truncate_torn_tail(path, blob, len(_WAL_MAGIC))
+            self._truncate_if_torn(path, blob, len(_WAL_MAGIC))
             segments.append(segment)
         segments.sort(key=lambda s: s.segment_id)
 
@@ -640,8 +912,26 @@ class DurableStore:
             clock_now=clock_now,
         )
 
+    def _truncate_if_torn(self, path: Path, blob: bytes, offset: int) -> None:
+        """Truncate a torn frame tail — a *recovery-pass write*.
+
+        Fires a ``torn-truncate`` crash boundary (only when a tear is
+        actually present, which the simulated injector never produces on
+        its own), so the recovery-fault suite can kill recovery in the
+        middle of cleaning a genuinely torn log and assert the second
+        recovery still converges.
+        """
+        intact = intact_prefix_length(blob, offset)
+        if intact < len(blob):
+            self.injector.before_write("torn-truncate")
+            with open(path, "r+b") as handle:
+                handle.truncate(intact)
+                handle.flush()
+                self._fsync_handle(handle)
+
     @staticmethod
     def _truncate_torn_tail(path: Path, blob: bytes, offset: int) -> None:
+        """Boundary-free truncation helper (cluster topology log)."""
         intact = intact_prefix_length(blob, offset)
         if intact < len(blob):
             with open(path, "r+b") as handle:
@@ -837,12 +1127,15 @@ def _decode_run(blob: bytes) -> RecoveredRun:
     if not blob.startswith(_RUN_MAGIC):
         raise PersistenceError("run blob has a bad magic header")
     frames = list(read_frames(blob, len(_RUN_MAGIC)))
-    if len(frames) != 3:
+    if len(frames) < 3:
         raise PersistenceError(
             f"run blob truncated: {len(frames)}/3 sections readable"
         )
     header = json.loads(frames[0].decode("utf-8"))
     entries_blob, rts_blob = frames[1], frames[2]
+    # Frames past the base three are appended shape deltas (delete-tile
+    # mutations); the last intact one describes the current shape.
+    delta = json.loads(frames[-1].decode("utf-8")) if len(frames) > 3 else None
 
     def take_entries(count: int, cursor: int) -> tuple[list[Entry], int]:
         out = []
@@ -851,23 +1144,48 @@ def _decode_run(blob: bytes) -> RecoveredRun:
             out.append(entry)
         return out, cursor
 
-    recovered = RecoveredRun(meta=dict(header["meta"]), layout=header["layout"])
-    cursor = 0
-    if header["layout"] == "kiwi":
+    meta = dict(delta["meta"]) if delta is not None else dict(header["meta"])
+    recovered = RecoveredRun(meta=meta, layout=header["layout"])
+    if delta is not None:
+        if header["layout"] != "kiwi":
+            raise PersistenceError(
+                f"shape delta on a {header['layout']!r} blob"
+            )
+        flat: list[Entry] = []
+        cursor = 0
+        while cursor < len(entries_blob):
+            entry, cursor = decode_durable_entry(entries_blob, cursor)
+            flat.append(entry)
+        for tile in delta["tiles"]:
+            pages = []
+            for ordinals in tile["pages"]:
+                try:
+                    pages.append([flat[ordinal] for ordinal in ordinals])
+                except IndexError as exc:
+                    raise PersistenceError(
+                        "run blob delta references an entry past the base "
+                        "section"
+                    ) from exc
+            recovered.tiles.append((tile["min"], tile["max"], pages))
+    elif header["layout"] == "kiwi":
+        cursor = 0
         for tile in header["tiles"]:
             pages = []
             for count in tile["pages"]:
                 page_entries, cursor = take_entries(count, cursor)
                 pages.append(page_entries)
             recovered.tiles.append((tile["min"], tile["max"], pages))
+        if cursor != len(entries_blob):
+            raise PersistenceError("run blob entry section has trailing bytes")
     elif header["layout"] == "sstable":
+        cursor = 0
         for count in header["pages"]:
             page_entries, cursor = take_entries(count, cursor)
             recovered.pages.append(page_entries)
+        if cursor != len(entries_blob):
+            raise PersistenceError("run blob entry section has trailing bytes")
     else:
         raise PersistenceError(f"unknown run layout {header['layout']!r}")
-    if cursor != len(entries_blob):
-        raise PersistenceError("run blob entry section has trailing bytes")
 
     cursor = 0
     while cursor < len(rts_blob):

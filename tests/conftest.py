@@ -36,6 +36,12 @@ TINY = dict(
     file_pages=8,        # 32-entry files
     size_ratio=4,
     ingestion_rate=1024.0,
+    # The crash suites replay sequences hundreds of times; skipping the
+    # per-write fsync keeps them fast. The simulated injector kills
+    # between writes (never inside the kernel's page cache), so fsync
+    # changes no simulated-crash outcome; the fsync path itself is
+    # pinned by dedicated tests in tests/crash/test_persist.py.
+    fsync=False,
 )
 
 

@@ -154,6 +154,19 @@ def count_crash_points(
     ops: list[tuple], config_factory: Callable[[], Any]
 ) -> int:
     """Total durable write boundaries the op sequence crosses."""
+    return trace_crash_points(ops, config_factory).writes
+
+
+def trace_crash_points(
+    ops: list[tuple], config_factory: Callable[[], Any]
+) -> FaultInjector:
+    """Replay ``ops`` with a counting injector; return it, labels included.
+
+    The label trace lets a test aim a :class:`CrashPoint` at a specific
+    boundary *type* — the index of a ``wal-rewrite`` or ``run-delta``
+    label in ``injector.labels`` is exactly the ``crash_at`` that kills
+    that write, because replays of the same sequence are deterministic.
+    """
     injector = FaultInjector(armed=False)
     with tempfile.TemporaryDirectory() as tmp:
         engine = LSMEngine.open(
@@ -164,7 +177,7 @@ def count_crash_points(
         counter = [0]
         for op in ops:
             apply_both(engine, model, op, counter)
-    return injector.writes
+    return injector
 
 
 def run_crash(
@@ -238,7 +251,15 @@ def assert_recovery_matches_model(run: CrashRun, context: str) -> tuple:
 
 
 def assert_dth_invariant(engine: LSMEngine, context: str) -> None:
-    """§4.1.5 across recovery: no WAL segment/tombstone older than D_th."""
+    """§4.1.5 across recovery: no WAL segment/tombstone older than D_th.
+
+    The record-age half applies to *live* records only (seqnum above the
+    flush watermark): those are deletes not yet persisted to the tree,
+    which is what the paper's guarantee bounds. A flushed tombstone
+    record retained in a young segment — a watermark hole left by an
+    SRD-purged sibling record keeps the segment alive — is already
+    persisted; the routine discards the copy when its segment ages out.
+    """
     d_th = engine.config.delete_persistence_threshold
     if not d_th:
         return
@@ -247,12 +268,13 @@ def assert_dth_invariant(engine: LSMEngine, context: str) -> None:
     assert engine.wal.oldest_segment_age(now) <= d_th + slack, (
         f"[{context}] recovered WAL holds a segment older than D_th"
     )
+    watermark = engine.wal.flushed_seqnum
     for segment in engine.wal.segments:
         for record in segment.records:
-            if record.is_tombstone:
+            if record.is_tombstone and record.seqnum > watermark:
                 assert now - record.written_at <= d_th + slack, (
-                    f"[{context}] tombstone record aged past D_th in the "
-                    f"recovered WAL (seq {record.seqnum})"
+                    f"[{context}] live tombstone record aged past D_th in "
+                    f"the recovered WAL (seq {record.seqnum})"
                 )
 
 
@@ -266,5 +288,111 @@ def continue_after_recovery(run: CrashRun) -> tuple[LSMEngine, dict]:
     model = dict(run.model_before)
     counter = [run.counter_before]
     for op in run.remaining_ops:
+        apply_both(run.recovered, model, op, counter)
+    return run.recovered, model
+
+
+# ---------------------------------------------------------------------------
+# Group-commit crash runs: the acknowledged-prefix oracle
+# ---------------------------------------------------------------------------
+#
+# Under every_op, every acknowledged operation is durable before the next
+# begins, so recovery must land on the dict model before or after the
+# in-flight op. Under group(n)/interval/unsafe_none, acknowledged-but-
+# undrained operations are *designed* to be lost on a crash — but durable
+# state still only advances whole batches, so recovery must land on the
+# model after some exact PREFIX of the acknowledged sequence, never on a
+# mixture. These helpers enumerate that oracle.
+
+
+@dataclass
+class PrefixCrashRun:
+    """Outcome of one kill-and-recover cycle under a batched policy."""
+
+    crashed: bool
+    in_flight_index: int          # index of the op the crash interrupted
+    models: list[dict]            # model after each prefix 0..upper
+    counters: list[int]           # put-counter after each prefix
+    recovered: LSMEngine
+    path: str
+
+
+def run_crash_prefix(
+    ops: list[tuple],
+    config_factory: Callable[[], Any],
+    crash_at: int,
+    tmp: str,
+) -> PrefixCrashRun:
+    """Like :func:`run_crash`, but records the model at *every* prefix."""
+    path = os.path.join(tmp, "db")
+    injector = CrashPoint(crash_at, armed=False)
+    engine = LSMEngine.open(path, config=config_factory(), injector=injector)
+    injector.armed = True
+
+    model: dict = {}
+    counter = [0]
+    models: list[dict] = [{}]
+    counters: list[int] = [0]
+    crashed = False
+    in_flight_index = len(ops)
+    try:
+        for index, op in enumerate(ops):
+            apply_both(engine, model, op, counter)
+            models.append(dict(model))
+            counters.append(counter[0])
+    except SimulatedCrash:
+        crashed = True
+        in_flight_index = len(models) - 1
+        # The in-flight op may legitimately have landed whole (e.g. the
+        # crash hit a purge after its commit): admit its prefix too.
+        model_after = dict(models[-1])
+        counter_after = [counters[-1]]
+        apply_model(model_after, ops[in_flight_index], counter_after)
+        models.append(model_after)
+        counters.append(counter_after[0])
+
+    recovered = LSMEngine.open(path)
+    return PrefixCrashRun(
+        crashed=crashed,
+        in_flight_index=in_flight_index,
+        models=models,
+        counters=counters,
+        recovered=recovered,
+        path=path,
+    )
+
+
+def assert_recovery_matches_a_prefix(run: PrefixCrashRun, context: str) -> int:
+    """Recovery must equal the model after some exact op prefix.
+
+    Returns the largest matching prefix length (the continuation point).
+    """
+    got = engine_surface(run.recovered)
+    matches = [
+        j
+        for j in range(len(run.models))
+        if model_surface(run.models[j]) == got
+    ]
+    assert matches, (
+        f"[{context}] recovered state matches no acknowledged prefix "
+        f"(in-flight op index {run.in_flight_index}):\n  got: {got}"
+    )
+    return max(matches)
+
+
+def continue_from_prefix(
+    run: PrefixCrashRun, prefix: int, ops: list[tuple]
+) -> tuple[LSMEngine, dict]:
+    """Re-apply everything past ``prefix``; return (engine, final model).
+
+    The operations between the recovered prefix and the crash were
+    acknowledged and then lost — exactly what the batched policies
+    trade; a client retries them. Re-applying from the matched prefix
+    (with the put counter rewound to it) must converge on the
+    full-sequence model.
+    """
+    model = dict(run.models[prefix])
+    counter = [run.counters[prefix]]
+    for op in ops[min(prefix, len(ops)):]:
         apply_both(run.recovered, model, op, counter)
     return run.recovered, model

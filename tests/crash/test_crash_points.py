@@ -13,6 +13,8 @@ import tempfile
 
 import pytest
 
+from repro.core.config import lethe_config
+
 from tests.crash.harness import (
     CRASH_FLAVOURS,
     assert_dth_invariant,
@@ -22,6 +24,7 @@ from tests.crash.harness import (
     engine_surface,
     model_surface,
     run_crash,
+    trace_crash_points,
 )
 
 
@@ -99,3 +102,70 @@ def test_no_crash_run_equals_model():
         assert not run.crashed
         assert run.in_flight_op is None
         assert engine_surface(run.recovered) == model_surface(run.model_before)
+
+
+# ---------------------------------------------------------------------------
+# The D_th rewrite boundary, targeted by its own label
+# ---------------------------------------------------------------------------
+
+
+def _rewrite_config():
+    """A FADE config whose D_th routine fires mid-sequence.
+
+    Tiny ``D_th`` plus a buffer too large to flush on its own: the idle
+    check inside ``advance_time`` finds over-age segments holding live
+    (un-flushed) records and must copy them to a fresh segment — the
+    exact fresh-segment write that used to hide behind the generic
+    ``wal-append`` label.
+    """
+    overrides = dict(TINY_REWRITE)
+    return lethe_config(0.005, delete_tile_pages=4, **overrides)
+
+
+TINY_REWRITE = dict(
+    buffer_pages=16,     # 64-entry buffer: the puts below never flush
+    page_entries=4,
+    file_pages=8,
+    size_ratio=4,
+    ingestion_rate=1024.0,
+    fsync=False,
+)
+
+
+def rewrite_ops() -> list[tuple]:
+    ops: list[tuple] = [("put", i % 13, i * 4 % 120) for i in range(24)]
+    ops.append(("advance_time", 0.05))  # segments age past D_th = 5 ms
+    ops.extend(("put", (i * 5) % 13, i * 7 % 120) for i in range(8))
+    ops.append(("flush",))
+    return ops
+
+
+def test_wal_rewrite_is_a_distinct_enumerable_crash_point():
+    """Fault injection can target the D_th rewrite boundary by label.
+
+    Kills the backend at *every* ``wal-rewrite`` boundary of a sequence
+    engineered to fire the routine, and requires recovery to match the
+    oracle and re-satisfy §4.1.5 — previously the rewrite shared the
+    ``wal-append`` label, so this boundary could not be aimed at.
+    """
+    ops = rewrite_ops()
+    labels = trace_crash_points(ops, _rewrite_config).labels
+    rewrite_points = [
+        index for index, label in enumerate(labels) if label == "wal-rewrite"
+    ]
+    assert rewrite_points, (
+        f"the sequence never crossed a wal-rewrite boundary: {labels}"
+    )
+    assert "wal-append" not in labels, (
+        "ordinary appends should carry batch-count labels (wal-append[n]), "
+        "leaving the bare name free for grep-ability checks"
+    )
+    for crash_at in rewrite_points:
+        with tempfile.TemporaryDirectory() as tmp:
+            run = run_crash(ops, _rewrite_config, crash_at, tmp)
+            assert run.crashed
+            context = f"wal-rewrite@{crash_at}"
+            assert_recovery_matches_model(run, context)
+            assert_dth_invariant(run.recovered, context)
+            engine, model = continue_after_recovery(run)
+            assert engine_surface(engine) == model_surface(model)

@@ -142,7 +142,14 @@ def test_checkpoint_compacts_manifest_and_prunes(tmp_path):
     }
 
 
-def test_kiwi_page_drops_bump_blob_generations(tmp_path):
+def test_kiwi_page_drops_append_shape_deltas(tmp_path):
+    """A delete-tile mutation appends a delta, not a full blob rewrite.
+
+    The mutated file keeps its generation-0 blob; the SRD's commit
+    appends one framed shape delta (surviving pages by base ordinal)
+    whose bytes are a fraction of the base, and recovery decodes the
+    post-drop shape from base + delta.
+    """
     engine = LSMEngine.open(
         tmp_path / "db", config=lethe_config(1e9, delete_tile_pages=4, **TINY)
     )
@@ -150,13 +157,31 @@ def test_kiwi_page_drops_bump_blob_generations(tmp_path):
         engine.put(i, f"v{i}", delete_key=i)
     engine.flush()
     runs_dir = tmp_path / "db" / "runs"
-    before = {p.name for p in runs_dir.glob("*.run")}
+    before = {p.name: p.stat().st_size for p in runs_dir.glob("*.run")}
     engine.secondary_range_delete(10, 60)
-    after = {p.name for p in runs_dir.glob("*.run")}
-    assert before != after
-    assert any(name.endswith(".0001.run") for name in after - before), (
-        "a mutated KiWi file should persist under a bumped generation"
+    after = {p.name: p.stat().st_size for p in runs_dir.glob("*.run")}
+    assert set(after) == set(before), (
+        "a delete-tile-only mutation must not create or drop blob files"
     )
+    assert all(name.endswith(".0000.run") for name in after), (
+        "mutations must stay on generation 0 (no full rewrite)"
+    )
+    grown = {name for name in after if after[name] > before[name]}
+    assert grown, "at least one mutated blob should have an appended delta"
+    for name in grown:
+        assert after[name] - before[name] < before[name] / 2, (
+            f"{name}: delta bytes should be far smaller than a rewrite"
+        )
+    # The injector vocabulary reflects the path taken: deltas, no rewrites.
+    injector = FaultInjector(armed=True)
+    engine.store.injector = injector
+    engine.secondary_range_delete(60, 80)
+    assert "run-delta" in injector.labels
+    assert "run-blob" not in injector.labels
+
+    recovered = recover_engine(tmp_path / "db")
+    for key in range(96):
+        assert recovered.get(key) == engine.get(key)
 
 
 # ---------------------------------------------------------------------------
@@ -303,6 +328,66 @@ def test_torn_tails_are_truncated_so_later_appends_stay_readable(tmp_path):
     assert again.get(999) == "after-tear"
     for key in range(25):
         assert again.get(key) == recovered.get(key)
+
+
+def test_fsync_path_round_trips(tmp_path):
+    """The default (fsync on) store works end to end.
+
+    The crash suites run with ``fsync=False`` for speed, so this is the
+    one place the fsync branches (data-file fsync in atomic writes,
+    batch drains, frame appends; directory fsync after renames and
+    unlinks) stay exercised: a full op mix, a checkpoint, and a
+    recovery, all with the knob at its production default.
+    """
+    config = lethe_config(0.5, delete_tile_pages=4, **{**TINY, "fsync": True})
+    assert config.fsync
+    engine = LSMEngine.open(tmp_path / "db", config=config)
+    for i in range(120):
+        engine.put(i % 30, f"v{i}", delete_key=i)
+        if i % 11 == 5:
+            engine.delete((i * 3) % 30)
+    engine.secondary_range_delete(20, 60)
+    engine.checkpoint()
+    engine.put(999, "tail", delete_key=1)
+    engine.sync()
+    engine.close()
+    recovered = recover_engine(tmp_path / "db")
+    assert recovered.get(999) == "tail"
+    assert {k: recovered.get(k) for k in range(30)} == {
+        k: engine.get(k) for k in range(30)
+    }
+
+
+def test_commit_policy_specs_validate():
+    from repro.core.errors import ConfigError
+    from repro.lsm.wal import CommitPolicy
+
+    assert CommitPolicy.parse("every_op").kind == "every_op"
+    assert CommitPolicy.parse("group(8)").group_size == 8
+    assert CommitPolicy.parse("interval(2.5)").interval_ms == 2.5
+    assert CommitPolicy.parse("unsafe_none").describe() == "unsafe_none"
+    for bad in ("group(0)", "interval(0)", "group", "sometimes", "group(-1)"):
+        with pytest.raises(ValueError):
+            CommitPolicy.parse(bad)
+    with pytest.raises(ConfigError):
+        rocksdb_config(wal_commit_policy="bogus", **TINY)
+    # The policy round-trips through the persisted config.
+    config = rocksdb_config(wal_commit_policy="group(8)", **TINY)
+    assert config_from_dict(config_to_dict(config)).commit_policy.group_size == 8
+
+
+def test_commit_policy_drain_decisions():
+    from repro.lsm.wal import CommitPolicy
+
+    assert CommitPolicy.parse("every_op").should_drain(1, 0.0)
+    group = CommitPolicy.parse("group(3)")
+    assert not group.should_drain(2, 10.0)
+    assert group.should_drain(3, 0.0)
+    interval = CommitPolicy.parse("interval(10)")
+    assert not interval.should_drain(100, 0.005)
+    assert interval.should_drain(1, 0.010)
+    unsafe = CommitPolicy.parse("unsafe_none")
+    assert not unsafe.should_drain(10**6, 10**6)
 
 
 def test_crash_point_injector_contract(tmp_path):

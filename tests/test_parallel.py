@@ -538,9 +538,9 @@ class TestAdvanceTimeForwarding:
         for index, shard in enumerate(cluster.shards):
             original = shard.idle_check
 
-            def counted(index=index, original=original):
+            def counted(*args, index=index, original=original, **kwargs):
                 calls[index] += 1
-                original()
+                original(*args, **kwargs)
 
             shard.idle_check = counted
         return cluster, calls

@@ -83,3 +83,40 @@ class TestDthEnforcement:
         wal = WriteAheadLog()
         with pytest.raises(WALError):
             wal.enforce_persistence_threshold(now=1.0, d_th=0.0)
+
+
+class TestVoidTombstone:
+    """Regression: a superseded tombstone must not age in the log forever.
+
+    A buffered point tombstone overwritten by a newer put carries no
+    delete intent; before ``void_tombstone`` existed, the D_th routine
+    copied the dead intent to every fresh segment, so the record-level
+    half of §4.1.5 ("no tombstone older than D_th in any log segment")
+    could never be met once a delete was overwritten in place.
+    """
+
+    def test_void_clears_the_flag_but_keeps_the_record(self):
+        wal = WriteAheadLog()
+        wal.append(0, key=1, is_tombstone=True, now=0.0)
+        wal.append(1, key=1, is_tombstone=False, now=0.1)
+        assert wal.oldest_tombstone_age(now=10.0) == 10.0
+        wal.void_tombstone(0)
+        assert wal.oldest_tombstone_age(now=10.0) == 0.0
+        assert wal.live_records == 2  # replay history is intact
+
+    def test_void_of_flushed_or_unknown_seqnum_is_a_noop(self):
+        wal = WriteAheadLog()
+        wal.append(0, key=1, is_tombstone=True, now=0.0)
+        wal.void_tombstone(99)
+        assert wal.oldest_tombstone_age(now=5.0) == 5.0
+
+    def test_rewrite_drops_the_voided_intent_from_the_age_metric(self):
+        wal = WriteAheadLog(segment_capacity=2)
+        wal.append(0, key=1, is_tombstone=True, now=0.0)
+        wal.append(1, key=1, is_tombstone=False, now=0.1)
+        wal.void_tombstone(0)
+        wal.enforce_persistence_threshold(now=20.0, d_th=5.0)
+        # Both records were copied forward (still live), but no record
+        # counts as a tombstone any more.
+        assert wal.live_records == 2
+        assert wal.oldest_tombstone_age(now=20.0) == 0.0

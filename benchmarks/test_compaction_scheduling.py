@@ -1,0 +1,59 @@
+"""Bench for the compaction scheduler: FADE off the write path.
+
+Expected shape: the inline (serial) engine pays every merge cascade's
+device time inside the write path, so background scheduling must raise
+ingest throughput — measured ≈ 1.4–1.6x at the experiment's device
+latency — and collapse the worst-case op stall (an inline flush that
+triggers a full cascade) by an order of magnitude. The experiment
+asserts the hard invariants internally (identical final logical tree
+state across every mode, D_th compliance after drain, a speedup floor);
+this bench re-asserts the satellite contract — background mode ≥ inline
+ingest throughput and identical end-state digests — with CI-safe floors
+below the measured values.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import ExperimentScale
+
+from benchmarks.conftest import emit
+
+# Small enough for CI, large enough that the tree reaches 2-3 levels and
+# merge cascades actually stall the inline write path.
+COMPACTION_BENCH_SCALE = ExperimentScale(num_inserts=4000, num_point_lookups=0)
+
+
+def test_background_scheduling_beats_inline_with_identical_state(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.compaction_experiment(COMPACTION_BENCH_SCALE, quick=True),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    engine = result.series["engine"]
+    by_mode = dict(zip(engine["modes"], engine["ingest_ops_per_s"]))
+    inline = by_mode.pop("inline")
+
+    # Satellite contract: background ingest throughput ≥ inline (a 5%
+    # noise band keeps a loaded CI runner from flaking a wall-clock
+    # gate; measured ≈ 1.36x at this scale), and the experiment itself
+    # raises if any digest differs — reaching this line therefore
+    # already proves identical end states.
+    for mode, throughput in by_mode.items():
+        assert throughput >= inline * 0.95, (
+            f"{mode} ingested slower than inline: "
+            f"{throughput:.0f} vs {inline:.0f} ops/s"
+        )
+    assert max(engine["speedup_vs_inline"]) >= 1.05
+
+    # The worst-case stall must shrink: an inline cascade blocks one op
+    # for the whole merge; background mode bounds it by the stall policy.
+    max_ms = dict(zip(engine["modes"], engine["max_op_ms"]))
+    inline_worst = max_ms.pop("inline")
+    assert min(max_ms.values()) < inline_worst, (
+        f"background never improved the worst op stall: {max_ms} "
+        f"vs inline {inline_worst:.1f}ms"
+    )
+
+    # Background workers actually ran merges off the write path.
+    assert all(n > 0 for n in engine["background_compactions"][1:])

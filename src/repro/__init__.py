@@ -32,6 +32,12 @@ Analytical cost models (Table 2) live in :mod:`repro.analysis`; the
 experiment drivers behind every figure live in :mod:`repro.bench`.
 """
 
+from repro.compaction.scheduler import (
+    BackgroundScheduler,
+    CompactionScheduler,
+    SerialScheduler,
+    make_scheduler,
+)
 from repro.core.clock import SimulatedClock
 from repro.core.config import (
     BloomFilterScope,
@@ -89,8 +95,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AsyncIngestQueue",
+    "BackgroundScheduler",
     "BloomFilterScope",
     "CompactionError",
+    "CompactionScheduler",
     "CompactionTrigger",
     "ConfigError",
     "CrashPoint",
@@ -115,6 +123,7 @@ __all__ = [
     "RangePartitioner",
     "RangeTombstone",
     "SerialExecutor",
+    "SerialScheduler",
     "ShardExecutor",
     "ShardedEngine",
     "SimulatedClock",
@@ -131,6 +140,7 @@ __all__ = [
     "kiwi_metadata_overhead_bytes",
     "lethe_config",
     "make_executor",
+    "make_scheduler",
     "optimal_tile_granularity",
     "rocksdb_config",
     "__version__",

@@ -47,6 +47,9 @@ _STANDALONE = {
     "parallel": lambda scale, executor, quick: ex.parallel_scaling(scale),
     "recovery": lambda scale, executor, quick: ex.recovery_experiment(scale),
     "wal": lambda scale, executor, quick: ex.wal_experiment(scale, quick=quick),
+    "compaction": lambda scale, executor, quick: ex.compaction_experiment(
+        scale, quick=quick
+    ),
 }
 
 # Reduced scale for `--quick` (CI smoke): enough volume that flushes,
@@ -108,7 +111,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
-        "recovery, wal), 'all', or 'list'",
+        "recovery, wal, compaction), 'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",

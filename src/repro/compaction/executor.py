@@ -5,10 +5,31 @@ run the k-way merge with tombstone semantics, materialize the output run
 in the active layout, install it, release consumed files, charge all I/O
 and byte counters, and notify the engine of every tombstone that became
 persistent (for delete-persistence-latency accounting).
+
+Execution is split into two phases so the background compaction
+scheduler (:mod:`repro.compaction.scheduler`) can run the expensive part
+off the write path:
+
+* :meth:`CompactionExecutor.prepare` — victim selection, the k-way
+  merge, output materialization, and all I/O charging. No tree mutation;
+  a worker thread runs this while the ingest thread keeps flushing.
+  Counter bumps go through the locked :meth:`~repro.core.stats.
+  Statistics.add`, and tombstone-persistence callbacks are deferred to
+  the install phase, so nothing here races the write path.
+* :meth:`CompactionExecutor.install_prepared` — the structural swap
+  (remove sources/victims, install output) inside one
+  :meth:`~repro.lsm.tree.LSMTree.install` section, plus manifest edits
+  and the persistence callbacks. Short, in-memory only; the caller holds
+  the engine's commit lock so the subsequent durable commit snapshots
+  exactly this layout.
+
+:meth:`execute` chains the two for inline (serial) callers and preserves
+the original single-call semantics exactly.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.config import CompactionTrigger, EngineConfig
@@ -26,6 +47,28 @@ from repro.compaction.base import CompactionTask
 # Callback invoked once per point/range tombstone that left the system —
 # either persisted at the last level or superseded during a merge.
 TombstoneCallback = Callable[[object], None]
+
+
+@dataclass
+class PreparedCompaction:
+    """The merge result of one task, ready to install.
+
+    ``trivial`` marks a metadata-only move (no merge ran, no output was
+    built); otherwise ``output_files`` holds the materialized run and
+    ``dropped_tombstones``/``dropped_range_tombstones`` the tombstones
+    whose persistence callbacks fire at install time.
+    ``source_peer_ids`` records which non-source files lived in the
+    source level at prepare time: at install, any file *not* in that set
+    is a run flushed concurrently with the merge — strictly newer data
+    the output must never be merged into.
+    """
+
+    victims: list[RunFile]
+    trivial: bool = False
+    output_files: list[RunFile] = field(default_factory=list)
+    dropped_tombstones: list = field(default_factory=list)
+    dropped_range_tombstones: list = field(default_factory=list)
+    source_peer_ids: frozenset = frozenset()
 
 
 class CompactionExecutor:
@@ -46,20 +89,43 @@ class CompactionExecutor:
         self.on_tombstone_persisted = on_tombstone_persisted
 
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
 
     def execute(self, tree: LSMTree, task: CompactionTask, now: float) -> list[RunFile]:
-        """Run one compaction task; returns the files it produced."""
-        self.manifest.begin_version()
-        source_level = tree.level(task.source_level)
-        target_level = tree.ensure_level(task.target_level)
+        """Run one compaction task inline; returns the files it produced."""
+        prepared = self.prepare(tree, task, now)
+        return self.install_prepared(tree, task, prepared, now)
 
+    def prepare(
+        self,
+        tree: LSMTree,
+        task: CompactionTask,
+        now: float,
+        source_peer_ids: frozenset | None = None,
+    ) -> PreparedCompaction:
+        """Phase 1: merge and materialize, charging all I/O. No mutation
+        beyond growing empty levels (which readers never observe).
+
+        ``source_peer_ids`` is the source level's non-source file-id set
+        captured *at selection time, under the engine's commit lock* —
+        any file not in it at install time is a concurrently flushed run
+        (see :class:`PreparedCompaction`). Inline callers may omit it
+        (no concurrency: the snapshot taken here is equivalent).
+        """
+        tree.ensure_level(task.target_level)
         victims = self._victims(tree, task)
         participants = task.source_files + victims
+        if source_peer_ids is None:
+            source_ids = {id(f) for f in task.source_files}
+            source_peer_ids = frozenset(
+                id(f)
+                for f in tree.level(task.source_level).files()
+                if id(f) not in source_ids
+            )
 
         if self._is_trivial_move(tree, task, victims):
-            return self._trivial_move(tree, task, now)
+            return PreparedCompaction(victims=victims, trivial=True)
 
         into_last_level = self._lands_in_last_level(tree, task, victims)
 
@@ -80,9 +146,9 @@ class CompactionExecutor:
         pages_in = sum(f.num_pages for f in participants)
         bytes_in = sum(f.size_bytes for f in participants)
         self.disk.charge_read(pages_in)
-        self.stats.compaction_bytes_read += bytes_in
-        self.stats.compaction_entries_in += sum(
-            f.meta.num_entries for f in participants
+        self.stats.add(
+            compaction_bytes_read=bytes_in,
+            compaction_entries_in=sum(f.meta.num_entries for f in participants),
         )
 
         output_files = build_run(
@@ -97,23 +163,48 @@ class CompactionExecutor:
         pages_out = sum(f.num_pages for f in output_files)
         bytes_out = sum(f.size_bytes for f in output_files)
         self.disk.charge_write(pages_out)
-        self.stats.compaction_bytes_written += bytes_out
-        self.stats.compaction_entries_out += len(outcome.entries)
-        self.stats.invalid_entries_purged += outcome.invalid_entries_dropped
-        self.stats.tombstones_dropped += len(outcome.dropped_tombstones) + len(
-            outcome.dropped_range_tombstones
+        self.stats.add(
+            compaction_bytes_written=bytes_out,
+            compaction_entries_out=len(outcome.entries),
+            invalid_entries_purged=outcome.invalid_entries_dropped,
+            tombstones_dropped=len(outcome.dropped_tombstones)
+            + len(outcome.dropped_range_tombstones),
+        )
+        return PreparedCompaction(
+            victims=victims,
+            output_files=output_files,
+            dropped_tombstones=list(outcome.dropped_tombstones),
+            dropped_range_tombstones=list(outcome.dropped_range_tombstones),
+            source_peer_ids=source_peer_ids,
         )
 
+    def install_prepared(
+        self,
+        tree: LSMTree,
+        task: CompactionTask,
+        prepared: PreparedCompaction,
+        now: float,
+    ) -> list[RunFile]:
+        """Phase 2: swap the tree layout and log the manifest edits."""
+        self.manifest.begin_version()
+        if prepared.trivial:
+            return self._trivial_move(tree, task, now)
+
         if self.on_tombstone_persisted is not None:
-            for tombstone in outcome.dropped_tombstones:
+            for tombstone in prepared.dropped_tombstones:
                 self.on_tombstone_persisted(tombstone)
-            for rt in outcome.dropped_range_tombstones:
+            for rt in prepared.dropped_range_tombstones:
                 self.on_tombstone_persisted(rt)
 
-        # --- installation ----------------------------------------------
-        self._install(tree, task, victims, output_files)
+        self._install(
+            tree,
+            task,
+            prepared.victims,
+            prepared.output_files,
+            prepared.source_peer_ids,
+        )
         self._account_trigger(task)
-        return output_files
+        return prepared.output_files
 
     # ------------------------------------------------------------------
     # Pieces
@@ -163,8 +254,9 @@ class CompactionExecutor:
     ) -> list[RunFile]:
         """Relocate the file's metadata; no page I/O at all."""
         source = task.source_files[0]
-        tree.level(task.source_level).remove_files([source])
-        tree.level(task.target_level).insert_into_run([source])
+        with tree.install():
+            tree.level(task.source_level).remove_files([source])
+            tree.level(task.target_level).insert_into_run([source])
         # §4.1.3: for moved files "amax is recalculated based on the time
         # of the latest compaction" — the level clock restarts.
         source.meta.level_arrival_time = now
@@ -173,7 +265,7 @@ class CompactionExecutor:
             task.target_level,
             reason=f"trivial-move:{task.trigger.value}",
         )
-        self.stats.compactions += 1
+        self.stats.add(compactions=1)
         self._account_trigger(task, count_compaction=False)
         return [source]
 
@@ -182,7 +274,12 @@ class CompactionExecutor:
     ) -> bool:
         """True when the output may drop tombstones: no data lives deeper
         than the target, and (for tiered targets) no *other* run at the
-        target level could hold older versions."""
+        target level could hold older versions.
+
+        Evaluated at prepare time; a flush racing the merge only adds
+        *newer* Level-1 runs, which can never hide older versions of the
+        merged keys, so the answer cannot be invalidated mid-merge.
+        """
         target_number = task.target_level
         if not tree.is_last_level(target_number):
             return False
@@ -213,11 +310,12 @@ class CompactionExecutor:
         lo = min(f.min_key for f in participants)
         hi = max(f.max_key for f in participants)
         cover: list[RangeTombstone] = []
-        for level in tree.levels[: task.source_level - 1]:
-            for run_file in level.files():
-                for rt in run_file.range_tombstones:
-                    if rt.overlaps_keys(lo, hi):
-                        cover.append(rt)
+        for level_runs in tree.read_view()[: task.source_level - 1]:
+            for run in level_runs:
+                for run_file in run:
+                    for rt in run_file.range_tombstones:
+                        if rt.overlaps_keys(lo, hi):
+                            cover.append(rt)
         return cover
 
     def _install(
@@ -226,21 +324,39 @@ class CompactionExecutor:
         task: CompactionTask,
         victims: list[RunFile],
         output_files: list[RunFile],
+        source_peer_ids: frozenset = frozenset(),
     ) -> None:
-        source_level = tree.level(task.source_level)
-        target_level = tree.level(task.target_level)
+        with tree.install():
+            source_level = tree.level(task.source_level)
+            target_level = tree.level(task.target_level)
 
-        source_level.remove_files(task.source_files)
-        if victims:
-            target_level.remove_files(victims)
+            source_level.remove_files(task.source_files)
+            if victims:
+                target_level.remove_files(victims)
 
-        if task.source_level == task.target_level:
-            # Self-compaction: output replaces the sources in place.
-            target_level.insert_into_run(output_files)
-        elif task.install_as_run:
-            target_level.add_run(output_files)
-        else:
-            target_level.insert_into_run(output_files)
+            if task.source_level == task.target_level:
+                racing = any(
+                    id(f) not in source_peer_ids for f in target_level.files()
+                )
+                if racing and output_files:
+                    # One or more flushes landed newer runs while this
+                    # self-compaction merged in the background (any file
+                    # that was not a peer at prepare time). The output
+                    # holds strictly older data, so it must never be
+                    # merged into those runs — it installs as the
+                    # *oldest* run and the scheduler's next pass merges
+                    # the level again.
+                    for run_file in output_files:
+                        run_file.meta.level = target_level.number
+                    target_level.runs = target_level.runs + [list(output_files)]
+                elif not racing:
+                    # Self-compaction: output replaces the sources in
+                    # place, next to its surviving (disjoint) run peers.
+                    target_level.insert_into_run(output_files)
+            elif task.install_as_run:
+                target_level.add_run(output_files)
+            else:
+                target_level.insert_into_run(output_files)
 
         for consumed in list(task.source_files) + victims:
             self.manifest.log_remove(
@@ -257,9 +373,9 @@ class CompactionExecutor:
     def _account_trigger(
         self, task: CompactionTask, count_compaction: bool = True
     ) -> None:
-        if count_compaction:
-            self.stats.compactions += 1
+        deltas = {"compactions": 1} if count_compaction else {}
         if task.trigger is CompactionTrigger.TTL_EXPIRY:
-            self.stats.ttl_triggered_compactions += 1
+            deltas["ttl_triggered_compactions"] = 1
         else:
-            self.stats.saturation_triggered_compactions += 1
+            deltas["saturation_triggered_compactions"] = 1
+        self.stats.add(**deltas)

@@ -103,14 +103,19 @@ def full_tree_compaction(
         for rt in outcome.dropped_range_tombstones:
             on_tombstone_persisted(rt)
 
-    # Install: wipe every level, put the single run at the target level.
-    for level in tree.levels:
-        for run_file in list(level.files()):
-            manifest.log_remove(run_file.meta.file_number, reason="full-compaction")
-            disk.free(run_file.disk_file_id)
-        level.runs = []
-    target = tree.ensure_level(target_level)
-    target.merge_into_single_run(output_files)
+    # Install: wipe every level, put the single run at the target level —
+    # one tree.install() section, so concurrent readers see either the
+    # old tree or the new single run, never a half-wiped middle state.
+    with tree.install():
+        for level in tree.levels:
+            for run_file in list(level.files()):
+                manifest.log_remove(
+                    run_file.meta.file_number, reason="full-compaction"
+                )
+                disk.free(run_file.disk_file_id)
+            level.runs = []
+        target = tree.ensure_level(target_level)
+        target.merge_into_single_run(output_files)
     for produced in output_files:
         manifest.log_add(
             produced.meta.file_number, target_level, reason="full-compaction-output"

@@ -160,7 +160,10 @@ class EngineConfig:
         (default — one durable write per operation, the strictest and
         slowest), ``group(n)`` (drain every ``n`` records), ``interval(ms)``
         (drain when the oldest pending record is ``ms`` simulated
-        milliseconds old), or ``unsafe_none`` (only forced drains).
+        milliseconds old), ``interval_wall(ms)`` (a wall-clock thread
+        timer drains the batch ``ms`` real milliseconds after its first
+        record — the deployment variant, which also drains an *idle*
+        engine), or ``unsafe_none`` (only forced drains).
         Parsed by :class:`~repro.lsm.wal.CommitPolicy`; ignored by
         engines without a durable store. Flush/compaction/SRD commits and
         checkpoints always force a drain, whatever the policy.
@@ -170,6 +173,21 @@ class EngineConfig:
         renames — so "committed" means on-media, not in the OS page
         cache. Crash-test suites disable it for speed: the simulated
         crash model kills between writes, never inside the kernel.
+    slowdown_l1_runs:
+        Write-stall policy, soft threshold (only consulted under a
+        background :class:`~repro.compaction.scheduler.
+        BackgroundScheduler`): once Level 1 holds this many pending
+        runs, every write pays ``write_slowdown_seconds`` of delay so
+        compaction can catch up (RocksDB's ``level0_slowdown_writes_
+        trigger``). 0 disables the slowdown.
+    stall_l1_runs:
+        Write-stall policy, hard threshold: at this many pending Level-1
+        runs, writes block until a background worker brings the backlog
+        below it (RocksDB's ``level0_stop_writes_trigger``). Counted in
+        ``Statistics.write_stalls``/``stall_seconds``. 0 disables the
+        hard stall.
+    write_slowdown_seconds:
+        Real (wall-clock) delay per write while in the slowdown band.
     """
 
     size_ratio: int = 10
@@ -198,6 +216,9 @@ class EngineConfig:
     cache_pages: int = 0
     wal_commit_policy: str = "every_op"
     fsync: bool = True
+    slowdown_l1_runs: int = 8
+    stall_l1_runs: int = 16
+    write_slowdown_seconds: float = 0.001
 
     def __post_init__(self) -> None:
         if self.size_ratio < 2:
@@ -249,6 +270,22 @@ class EngineConfig:
             )
         if self.cache_pages < 0:
             raise ConfigError(f"cache_pages must be >= 0, got {self.cache_pages}")
+        if self.slowdown_l1_runs < 0 or self.stall_l1_runs < 0:
+            raise ConfigError("write-stall thresholds must be >= 0")
+        if (
+            self.slowdown_l1_runs > 0
+            and self.stall_l1_runs > 0
+            and self.stall_l1_runs < self.slowdown_l1_runs
+        ):
+            raise ConfigError(
+                "stall_l1_runs must be >= slowdown_l1_runs "
+                f"(got {self.stall_l1_runs} < {self.slowdown_l1_runs})"
+            )
+        if self.write_slowdown_seconds < 0:
+            raise ConfigError(
+                f"write_slowdown_seconds must be >= 0, "
+                f"got {self.write_slowdown_seconds}"
+            )
         try:
             self.commit_policy
         except ValueError as exc:

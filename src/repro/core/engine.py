@@ -15,14 +15,17 @@ paper's ingestion-driven notion of time.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+import threading
+from contextlib import contextmanager
+from typing import Any, Iterable, Iterator
 
-from repro.compaction.base import CompactionPolicy
+from repro.compaction.base import CompactionPolicy, CompactionTask
 from repro.compaction.executor import CompactionExecutor
 from repro.compaction.fade import FADEPolicy, InvalidationEstimator
 from repro.compaction.full import full_tree_compaction
 from repro.compaction.lazy_leveling import LazyLevelingPolicy
 from repro.compaction.leveling import LeveledCompactionPolicy
+from repro.compaction.scheduler import CompactionScheduler, make_scheduler
 from repro.compaction.tiering import TieredCompactionPolicy
 from repro.core.clock import SimulatedClock
 from repro.core.config import (
@@ -74,6 +77,12 @@ class LSMEngine:
         secondary-delete commits the tree state durably, so
         :meth:`open` can rebuild an equivalent engine after a crash.
         ``None`` (default) keeps the engine purely in-memory.
+    scheduler:
+        How compactions execute: a :class:`~repro.compaction.scheduler.
+        CompactionScheduler` instance, the string ``"serial"`` /
+        ``"background"``, or ``None`` for the serial (inline,
+        deterministic) default. A shared instance may serve many engines
+        (a sharded cluster's members); the engine never closes it.
     """
 
     def __init__(
@@ -81,6 +90,7 @@ class LSMEngine:
         config: EngineConfig,
         clock: SimulatedClock | None = None,
         store=None,
+        scheduler: CompactionScheduler | str | None = None,
     ):
         self.config = config
         self.stats = Statistics()
@@ -100,6 +110,23 @@ class LSMEngine:
             store.attach(self)
         self._key_bounds: tuple[Any, Any] | None = None
         self._persistence_index: dict[tuple, PersistenceRecord] = {}
+        # Concurrency (see docs/compaction.md for the full lock order):
+        # _compaction_mutex — at most one compaction task / exclusive
+        #   maintenance section (SRD, full compaction, checkpoint) runs
+        #   at a time; held across a worker's whole select-merge-install
+        #   cycle so selection never races a tree rewrite.
+        # _commit_lock — serializes {tree install + manifest edits +
+        #   durable commit} transactions between the flush path and a
+        #   background worker; held only around those short sections,
+        #   never across a merge.
+        # _persistence_lock — the tombstone persistence index, mutated
+        #   by the write path and by worker-side persistence callbacks.
+        # Lock order: _compaction_mutex -> _commit_lock -> tree install
+        # lock; _persistence_lock is a leaf.
+        self._compaction_mutex = threading.RLock()
+        self._commit_lock = threading.RLock()
+        self._persistence_lock = threading.Lock()
+        self._maintenance_thread: int | None = None
 
         self.policy = self._build_policy()
         self.executor = CompactionExecutor(
@@ -109,6 +136,13 @@ class LSMEngine:
             manifest=self.manifest,
             on_tombstone_persisted=self._on_tombstone_persisted,
         )
+        # Close the scheduler only if this engine built it (a string or
+        # None spec); a caller-supplied instance may be shared with
+        # other engines (a cluster's members) and is the caller's to
+        # close.
+        self._owns_scheduler = not isinstance(scheduler, CompactionScheduler)
+        self.scheduler = make_scheduler(scheduler)
+        self.scheduler.register(self)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -153,17 +187,23 @@ class LSMEngine:
         config: EngineConfig | None = None,
         clock: SimulatedClock | None = None,
         injector=None,
+        scheduler: CompactionScheduler | str | None = None,
     ) -> "LSMEngine":
         """Open a durable engine at ``path``: recover it or create it.
 
         An existing store is recovered from its manifest and WAL (see
         :mod:`repro.lsm.recovery`); a fresh directory needs ``config``.
         ``injector`` is the fault-injection hook the crash-test harness
-        uses to kill the durable backend at chosen write boundaries.
+        uses to kill the durable backend at chosen write boundaries;
+        ``scheduler`` is the compaction scheduler the opened engine runs
+        under (recovery itself always converges inline).
         """
         from repro.lsm.recovery import open_engine  # local to avoid cycle
 
-        return open_engine(path, config=config, clock=clock, injector=injector)
+        return open_engine(
+            path, config=config, clock=clock, injector=injector,
+            scheduler=scheduler,
+        )
 
     @property
     def store(self):
@@ -176,6 +216,7 @@ class LSMEngine:
 
     def put(self, key: Any, value: Any = None, delete_key: Any = None) -> None:
         """Insert or update ``key``; ``delete_key`` is the secondary key D."""
+        self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
         seqnum = self.seq.next()
@@ -205,6 +246,7 @@ class LSMEngine:
         tombstone because no filter in the tree could contain the key
         (§4.1.5 "Blind Deletes").
         """
+        self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
         if self.config.avoid_blind_deletes and not self._may_contain(key):
@@ -220,7 +262,7 @@ class LSMEngine:
         )
         self.wal.append(seqnum, key, is_tombstone=True, now=now, payload=tombstone)
         record = self.stats.record_tombstone_insert(key, now)
-        self._persistence_index[("p", key, seqnum)] = record
+        self._track_persistence(("p", key, seqnum), record)
         overwritten = self.buffer.get(key)
         if overwritten is not None and overwritten.is_tombstone:
             # The older buffered tombstone will never reach disk as
@@ -236,6 +278,7 @@ class LSMEngine:
 
     def range_delete(self, start: Any, end: Any) -> None:
         """Range delete on the *sort* key: ``[start, end)`` (§3.1.1)."""
+        self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
         seqnum = self.seq.next()
@@ -248,7 +291,7 @@ class LSMEngine:
         )
         self.wal.append(seqnum, start, is_tombstone=True, now=now, payload=tombstone)
         record = self.stats.record_tombstone_insert((start, end), now)
-        self._persistence_index[("r", start, end, seqnum)] = record
+        self._track_persistence(("r", start, end, seqnum), record)
         self.buffer.add_range_tombstone(tombstone)
         self.stats.range_tombstones_ingested += 1
         self._maybe_flush()
@@ -260,18 +303,23 @@ class LSMEngine:
         Classic layout: the state of the art's only option — a full-tree
         compaction that reads and rewrites all ``N/B`` pages (§3.3).
         """
-        self.clock.tick()
-        now = self.clock.now
-        # Durable engines sequence the SRD and commit an *intent* record
-        # before touching anything: a crash anywhere inside the SRD then
-        # leaves a durable not-done entry that recovery rolls forward,
-        # and WAL replay can place the purge correctly in history.
-        srd_seq = None
-        if self._store is not None:
-            srd_seq = self.seq.next()
-            self._store.register_srd(srd_seq, d_lo, d_hi)
-            self._commit("srd-begin")
-        return self._apply_secondary_range_delete(d_lo, d_hi, now, srd_seq)
+        self.scheduler.barrier(self)
+        with self._exclusive_maintenance():
+            self.clock.tick()
+            now = self.clock.now
+            # Durable engines sequence the SRD and commit an *intent*
+            # record before touching anything: a crash anywhere inside
+            # the SRD then leaves a durable not-done entry that recovery
+            # rolls forward, and WAL replay can place the purge
+            # correctly in history.
+            srd_seq = None
+            if self._store is not None:
+                srd_seq = self.seq.next()
+                self._store.register_srd(srd_seq, d_lo, d_hi)
+                self._commit("srd-begin")
+            report = self._apply_secondary_range_delete(d_lo, d_hi, now, srd_seq)
+        self.scheduler.after_maintenance(self)
+        return report
 
     def _apply_secondary_range_delete(
         self, d_lo: Any, d_hi: Any, now: float, srd_seq: int | None = None
@@ -368,7 +416,7 @@ class LSMEngine:
                 seqnum, key, is_tombstone=True, now=now, payload=tombstone
             )
             record = self.stats.record_tombstone_insert(key, now)
-            self._persistence_index[("p", key, seqnum)] = record
+            self._track_persistence(("p", key, seqnum), record)
             self.buffer.put(tombstone)
             self.stats.point_tombstones_ingested += 1
 
@@ -464,101 +512,195 @@ class LSMEngine:
     # ------------------------------------------------------------------
 
     def flush(self) -> None:
-        """Drain the buffer into Level 1 and run the compaction loop."""
+        """Drain the buffer into Level 1, then hand off compaction work.
+
+        Under the default :class:`~repro.compaction.scheduler.
+        SerialScheduler` the notification drains the policy's task queue
+        to convergence inline — the original write-path semantics. Under
+        a background scheduler the flush returns as soon as the buffer
+        is installed; workers converge the tree off the write path and
+        the throttle hook (``slowdown_l1_runs``/``stall_l1_runs``)
+        bounds how far Level 1 may back up.
+        """
+        if self.flush_buffer():
+            self.scheduler.notify(self)
+
+    def flush_buffer(self) -> bool:
+        """The buffer→Level-1 half of a flush; no compaction runs.
+
+        Returns ``True`` when something was flushed. The tree install,
+        manifest edits, durable commit, WAL watermark, and FADE TTL
+        recomputation form one transaction under the commit lock, so a
+        background worker's install/commit can never interleave with a
+        half-installed flush.
+        """
         if self.buffer.is_empty:
-            return
+            return False
+        self.scheduler.barrier(self)
         now = self.clock.now
-        entries, range_tombstones = self.buffer.drain()
-        max_seq = max(
-            [e.seqnum for e in entries] + [rt.seqnum for rt in range_tombstones],
-            default=-1,
-        )
-        files = build_run(
-            entries,
-            range_tombstones,
-            config=self.config,
-            disk=self.disk,
-            stats=self.stats,
-            now=now,
-            level=1,
-        )
-        pages = sum(f.num_pages for f in files)
-        size_bytes = sum(f.size_bytes for f in files)
-        self.disk.charge_write(pages)
-        self.stats.bytes_flushed += size_bytes
-        self.stats.buffer_flushes += 1
-
-        level1 = self.tree.ensure_level(1)
-        self.manifest.begin_version()
-        if (
-            self.config.level1_tiered
-            or self.config.merge_policy is not MergePolicy.LEVELING
-        ):
-            level1.add_run(files)
-        elif level1.is_empty:
-            level1.merge_into_single_run(files)
-        else:
-            # Pure leveling (§2): the flushed run is greedily sort-merged
-            # with Level 1's run. Model it as a one-off tiered install that
-            # the immediate compaction loop below resolves; installing as a
-            # transient second run keeps the merge inside the executor.
-            level1.add_run(files)
-        for produced in files:
-            self.manifest.log_add(produced.meta.file_number, 1, reason="flush")
-
-        # Durable commit precedes the WAL purge: the manifest record that
-        # carries the new watermark (and the flushed files) must be on
-        # disk before the WAL segments it supersedes are deleted.
-        self._commit("flush", watermark=max(max_seq, self.wal.flushed_seqnum))
-        if max_seq >= 0:
-            self.wal.mark_flushed(max_seq)
-        if self.config.fade_enabled and self.config.delete_persistence_threshold:
-            self.wal.enforce_persistence_threshold(
-                now, self.config.delete_persistence_threshold
+        # begin_flush keeps the drained snapshot readable until the run
+        # is installed in the tree: a reader racing this flush sees the
+        # entries in the buffer's flushing table or in Level 1, never in
+        # neither (the snapshot-consistency contract of docs/compaction.md).
+        entries, range_tombstones = self.buffer.begin_flush()
+        try:
+            max_seq = max(
+                [e.seqnum for e in entries] + [rt.seqnum for rt in range_tombstones],
+                default=-1,
             )
+            files = build_run(
+                entries,
+                range_tombstones,
+                config=self.config,
+                disk=self.disk,
+                stats=self.stats,
+                now=now,
+                level=1,
+            )
+            pages = sum(f.num_pages for f in files)
+            size_bytes = sum(f.size_bytes for f in files)
+            self.disk.charge_write(pages)
+            self.stats.add(bytes_flushed=size_bytes, buffer_flushes=1)
 
-        self.policy.on_flush(self.tree, now)
-        if (
-            not self.config.level1_tiered
-            and self.config.merge_policy is MergePolicy.LEVELING
-            and level1.run_count > 1
-        ):
-            self._greedy_level1_merge(now)
-        self.run_pending_compactions()
+            with self._commit_lock:
+                level1 = self.tree.ensure_level(1)
+                self.manifest.begin_version()
+                with self.tree.install():
+                    if (
+                        self.config.level1_tiered
+                        or self.config.merge_policy is not MergePolicy.LEVELING
+                    ):
+                        level1.add_run(files)
+                    elif level1.is_empty:
+                        level1.merge_into_single_run(files)
+                    else:
+                        # Pure leveling (§2): the flushed run is greedily
+                        # sort-merged with Level 1's run. Model it as a
+                        # one-off tiered install that the next compaction
+                        # step resolves (see _next_compaction_task);
+                        # installing as a transient second run keeps the
+                        # merge inside the executor.
+                        level1.add_run(files)
+                for produced in files:
+                    self.manifest.log_add(
+                        produced.meta.file_number, 1, reason="flush"
+                    )
 
-    def _greedy_level1_merge(self, now: float) -> None:
-        """Pure leveling: consolidate Level 1 into a single run right away."""
-        level1 = self.tree.level(1)
-        files = list(level1.files())
-        task_files = files
-        from repro.compaction.base import CompactionTask  # local to avoid cycle
-
-        task = CompactionTask(
-            source_level=1,
-            source_files=task_files,
-            target_level=1,
-            trigger=CompactionTrigger.SATURATION,
-            whole_level=True,
-            description="greedy L1 merge (pure leveling)",
-        )
-        self.executor.execute(self.tree, task, now)
-        self._commit("compaction")
+                # Durable commit precedes the WAL purge: the manifest
+                # record that carries the new watermark (and the flushed
+                # files) must be on disk before the WAL segments it
+                # supersedes are deleted.
+                self._commit(
+                    "flush", watermark=max(max_seq, self.wal.flushed_seqnum)
+                )
+                if max_seq >= 0:
+                    self.wal.mark_flushed(max_seq)
+                if self.config.fade_enabled and self.config.delete_persistence_threshold:
+                    self.wal.enforce_persistence_threshold(
+                        now, self.config.delete_persistence_threshold
+                    )
+                self.policy.on_flush(self.tree, now)
+        finally:
+            self.buffer.end_flush()
+        return True
 
     def _maybe_flush(self) -> None:
         if self.buffer.is_full:
             self.flush()
 
-    def run_pending_compactions(self) -> int:
-        """Drain the policy's task queue; returns tasks executed."""
-        executed = 0
-        for _ in range(_COMPACTION_LOOP_LIMIT):
-            task = self.policy.select(self.tree, self.clock.now)
-            if task is None:
-                return executed
+    @contextmanager
+    def _exclusive_maintenance(self) -> Iterator[None]:
+        """Hold the compaction mutex, marked with the owning thread.
+
+        The marker lets the scheduler detect re-entrant notifications
+        (a flush inside an SRD, a worker's own commit) and skip drain
+        barriers that would deadlock against a worker waiting for this
+        very mutex.
+        """
+        with self._compaction_mutex:
+            previous = self._maintenance_thread
+            self._maintenance_thread = threading.get_ident()
+            try:
+                yield
+            finally:
+                self._maintenance_thread = previous
+
+    def _pending_l1_runs(self) -> int:
+        """Level 1's run backlog — the write-stall policy's input."""
+        levels = self.tree.levels
+        return levels[0].run_count if levels else 0
+
+    def _next_compaction_task(self, now: float) -> CompactionTask | None:
+        """The next unit of compaction work, freshest-tree selection.
+
+        Pure leveling consolidates a multi-run Level 1 first (the greedy
+        merge the flush path used to run inline); otherwise the policy
+        chooses. Called under the commit lock so selection never sees a
+        half-installed layout.
+        """
+        if (
+            not self.config.level1_tiered
+            and self.config.merge_policy is MergePolicy.LEVELING
+            and self.tree.height >= 1
+        ):
+            level1 = self.tree.level(1)
+            if level1.run_count > 1:
+                return CompactionTask(
+                    source_level=1,
+                    source_files=list(level1.files()),
+                    target_level=1,
+                    trigger=CompactionTrigger.SATURATION,
+                    whole_level=True,
+                    description="greedy L1 merge (pure leveling)",
+                )
+        task = self.policy.select(self.tree, now)
+        if task is not None:
             self._expand_multi_run_source(task)
-            self.executor.execute(self.tree, task, self.clock.now)
-            self._commit("compaction")
-            executed += 1
+        return task
+
+    def run_one_compaction(self) -> bool:
+        """Select and execute one compaction task; ``False`` when idle.
+
+        The unit of work a background worker executes: selection and the
+        final install/commit hold the commit lock (short, in-memory),
+        while the merge itself — the expensive part — runs between them,
+        concurrently with the write path. The compaction mutex keeps the
+        tree's *merge* state single-writer: at most one task (or one
+        exclusive maintenance section) is in flight per engine, so a
+        selected task's source files can only have been *supplemented*
+        (by newer flushed runs), never invalidated, by install time.
+        """
+        with self._exclusive_maintenance():
+            with self._commit_lock:
+                now = self.clock.now
+                task = self._next_compaction_task(now)
+                peers = None
+                if task is not None:
+                    # Snapshot the source level's non-source files *in
+                    # the same locked section as selection*: a flush
+                    # landing after the lock drops must be classified as
+                    # racing (newer data), not as a prepare-time peer.
+                    source_ids = {id(f) for f in task.source_files}
+                    peers = frozenset(
+                        id(f)
+                        for f in self.tree.level(task.source_level).files()
+                        if id(f) not in source_ids
+                    )
+            if task is None:
+                return False
+            prepared = self.executor.prepare(
+                self.tree, task, now, source_peer_ids=peers
+            )
+            with self._commit_lock:
+                self.executor.install_prepared(self.tree, task, prepared, now)
+                self._commit("compaction")
+        return True
+
+    def run_pending_compactions(self) -> int:
+        """Drain the policy's task queue inline; returns tasks executed."""
+        for executed in range(_COMPACTION_LOOP_LIMIT):
+            if not self.run_one_compaction():
+                return executed
         raise CompactionError(
             f"compaction loop did not converge in {_COMPACTION_LOOP_LIMIT} steps"
         )
@@ -622,7 +764,7 @@ class LSMEngine:
         empty, ``d_0 = D_th``, so firing late breaks §4.1.5 outright).
         """
         self.enforce_delete_persistence(lookahead=lookahead)
-        self.run_pending_compactions()
+        self.scheduler.notify(self)
 
     def enforce_delete_persistence(self, lookahead: float = 0.0) -> None:
         """Re-establish §4.1.5 at the current clock (no-op without FADE).
@@ -653,25 +795,36 @@ class LSMEngine:
 
     def force_full_compaction(self) -> None:
         """The state of the art's forced persistence (full-tree compaction)."""
-        self.flush()
-        full_tree_compaction(
-            self.tree,
-            self.config,
-            self.disk,
-            self.stats,
-            self.manifest,
-            self.clock.now,
-            on_tombstone_persisted=self._on_tombstone_persisted,
-        )
-        self._commit("full-compaction")
+        self.scheduler.barrier(self)
+        with self._exclusive_maintenance():
+            self.flush()
+            with self._commit_lock:
+                full_tree_compaction(
+                    self.tree,
+                    self.config,
+                    self.disk,
+                    self.stats,
+                    self.manifest,
+                    self.clock.now,
+                    on_tombstone_persisted=self._on_tombstone_persisted,
+                )
+                self._commit("full-compaction")
+        self.scheduler.after_maintenance(self)
 
     # ------------------------------------------------------------------
     # Durability
     # ------------------------------------------------------------------
 
     def _commit(self, reason: str, watermark: int | None = None) -> None:
-        """Commit the current tree state durably (no-op without a store)."""
+        """Commit the current tree state durably (no-op without a store).
+
+        Under ``deterministic_commits`` the scheduler drains before the
+        manifest record is appended — the barrier that keeps the durable
+        write-boundary stream enumerable by the crash suites (a no-op
+        when the caller already holds the compaction mutex).
+        """
         if self._store is not None:
+            self.scheduler.barrier(self)
             self._store.commit(reason, watermark=watermark)
 
     def _complete_srd(self, srd_seq: int | None) -> None:
@@ -687,8 +840,12 @@ class LSMEngine:
         """
         if self._store is None:
             raise LetheError("checkpoint() requires a durable store")
-        self.flush()
-        self._store.checkpoint()
+        self.scheduler.barrier(self)
+        with self._exclusive_maintenance():
+            self.flush()
+            with self._commit_lock:
+                self._store.checkpoint()
+        self.scheduler.after_maintenance(self)
 
     def sync(self) -> None:
         """Force-drain group-committed WAL batches (no-op without a store).
@@ -704,13 +861,19 @@ class LSMEngine:
     def close(self) -> None:
         """Drain pending durable state and release open file handles.
 
-        Purely in-memory engines have nothing to release. A process that
-        exits *without* closing models a crash: whatever the commit
-        policy had not yet drained is lost, which is exactly the
-        trade-off the policy spec names.
+        Background compaction work drains first, so every merge that
+        already committed — or is mid-commit on a worker — reaches the
+        store before its handles close; an engine-owned scheduler (built
+        from a string spec) is then stopped. Purely in-memory engines
+        have nothing to release. A process that exits *without* closing
+        models a crash: whatever the commit policy had not yet drained
+        is lost, which is exactly the trade-off the policy spec names.
         """
+        self.scheduler.drain()
         if self._store is not None:
             self._store.close()
+        if self._owns_scheduler:
+            self.scheduler.close()
 
     # ------------------------------------------------------------------
     # Bulk loading convenience
@@ -825,20 +988,31 @@ class LSMEngine:
         return False
 
     def _on_tombstone_persisted(self, tombstone: object) -> None:
-        """Close the persistence record of a dropped tombstone."""
+        """Close the persistence record of a dropped tombstone.
+
+        Invoked from compaction installs — under a background scheduler
+        that is a worker thread, so the index mutates under its lock.
+        """
         if isinstance(tombstone, Entry):
             index_key = ("p", tombstone.key, tombstone.seqnum)
         elif isinstance(tombstone, RangeTombstone):
             index_key = ("r", tombstone.start, tombstone.end, tombstone.seqnum)
         else:  # pragma: no cover - defensive
             return
-        record = self._persistence_index.pop(index_key, None)
+        with self._persistence_lock:
+            record = self._persistence_index.pop(index_key, None)
         if record is not None and record.persisted_at is None:
             record.persisted_at = self.clock.now
 
     def _nullify_tombstone_record(self, index_key: tuple, now: float) -> None:
         """A buffered tombstone overwritten by a newer put never reaches
         disk: its delete intent is void, so its record closes immediately."""
-        record = self._persistence_index.pop(index_key, None)
+        with self._persistence_lock:
+            record = self._persistence_index.pop(index_key, None)
         if record is not None and record.persisted_at is None:
             record.persisted_at = now
+
+    def _track_persistence(self, index_key: tuple, record) -> None:
+        """Register a tombstone's persistence record (locked, see above)."""
+        with self._persistence_lock:
+            self._persistence_index[index_key] = record

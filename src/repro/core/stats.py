@@ -17,18 +17,26 @@ bench reads its series from one place.
 
 Thread safety
 -------------
-Counters are plain attributes incremented all over the engine, so a
-registry must only ever be *mutated* from one thread at a time. The
-sharded layer upholds that with one registry per member engine plus a
-per-shard lock around every dispatched task (:mod:`repro.shard.engine`);
-cluster-wide totals are built by :meth:`merge`/:meth:`combined` into a
-fresh registry while those locks are held. :meth:`merge` itself snapshots
-``other.persistence_records`` before extending, so a merged view taken
-concurrently with an append never observes a half-grown list.
+Most counters are plain attributes incremented from the thread that owns
+the engine, and the sharded layer keeps one registry per member engine
+plus a per-shard lock around every dispatched task
+(:mod:`repro.shard.engine`). Since the background compaction scheduler
+(:mod:`repro.compaction.scheduler`) arrived, the counters that
+*compactions* touch — bytes read/written, compaction counts, page I/O,
+tombstone drops, persistence records — may also be bumped from a worker
+thread while the write path keeps ingesting. Those paths funnel through
+:meth:`add` (and :meth:`record_tombstone_insert`), which mutate under an
+internal lock, the same treatment :class:`~repro.core.clock.
+SimulatedClock` and the run-file counter already received.
+Cluster-wide totals are built by :meth:`merge`/:meth:`combined` into a
+fresh registry while the shard locks are held. :meth:`merge` itself
+snapshots ``other.persistence_records`` before extending, so a merged
+view taken concurrently with an append never observes a half-grown list.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field, fields
 from typing import Iterable
 
@@ -112,13 +120,37 @@ class Statistics:
     srd_pages_read: int = 0
     srd_pages_written: int = 0
 
+    # --- background compaction scheduling -------------------------------
+    background_compactions: int = 0
+    write_slowdowns: int = 0
+    write_stalls: int = 0
+    stall_seconds: float = 0.0
+
     # --- persistence tracking -------------------------------------------
     persistence_records: list[PersistenceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Not a dataclass field: merge()/snapshot() iterate fields and
+        # must never try to sum a lock.
+        self._lock = threading.Lock()
+
+    def add(self, **deltas: float) -> None:
+        """Atomically bump the named counters (background-worker paths).
+
+        ``stats.pages_written += n`` is a read-modify-write the
+        interpreter may preempt between a compaction worker and the
+        ingest thread; every counter a worker touches goes through here
+        instead.
+        """
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     def record_tombstone_insert(self, key: object, now: float) -> PersistenceRecord:
         """Open a persistence record when a tombstone enters the buffer."""
         record = PersistenceRecord(key=key, inserted_at=now)
-        self.persistence_records.append(record)
+        with self._lock:
+            self.persistence_records.append(record)
         return record
 
     # ------------------------------------------------------------------
@@ -135,13 +167,14 @@ class Statistics:
         well-defined even if ``other``'s owner appends concurrently.
         Returns ``self`` for chaining.
         """
-        for spec in fields(self):
-            if spec.name == "persistence_records":
-                continue
-            setattr(
-                self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
-            )
-        self.persistence_records.extend(list(other.persistence_records))
+        with self._lock:
+            for spec in fields(self):
+                if spec.name == "persistence_records":
+                    continue
+                setattr(
+                    self, spec.name, getattr(self, spec.name) + getattr(other, spec.name)
+                )
+            self.persistence_records.extend(list(other.persistence_records))
         return self
 
     @classmethod
@@ -239,6 +272,10 @@ class Statistics:
                 "secondary_range_deletes",
                 "srd_pages_read",
                 "srd_pages_written",
+                "background_compactions",
+                "write_slowdowns",
+                "write_stalls",
+                "stall_seconds",
             )
         }
 

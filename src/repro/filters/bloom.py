@@ -109,6 +109,11 @@ class BloomFilter:
         """Derive the k probe positions from one digest (double hashing)."""
         digest = key_digest(key)
         if self.stats is not None:
+            # Deliberately a plain += on the hottest counter in the
+            # codebase (k per probe, every lookup): a background worker
+            # building a filter may race a reader's probe and lose an
+            # increment, which only undercounts a diagnostic counter —
+            # a mutex here would tax every single-threaded experiment.
             self.stats.bloom_hash_computations += 1
         h1 = digest & 0xFFFFFFFF
         h2 = (digest >> 32) | 1  # odd so probes cycle through the array

@@ -42,12 +42,19 @@ class Level:
     # ------------------------------------------------------------------
 
     def add_run(self, files: list[RunFile]) -> None:
-        """Install a new (most recent) run — tiering ingest path."""
+        """Install a new (most recent) run — tiering ingest path.
+
+        Like every mutator here, the run list is rebuilt and swapped in a
+        single assignment: a reader that grabbed ``self.runs`` just
+        before the swap keeps a fully consistent (if momentarily stale)
+        view — the contract background compaction installs rely on (see
+        :meth:`~repro.lsm.tree.LSMTree.read_view`).
+        """
         if not files:
             return
         for run_file in files:
             run_file.meta.level = self.number
-        self.runs.insert(0, list(files))
+        self.runs = [list(files)] + self.runs
 
     def merge_into_single_run(self, files: list[RunFile]) -> None:
         """Replace all runs with one run — leveling ingest path."""

@@ -76,29 +76,41 @@ def open_engine(
     config=None,
     clock: SimulatedClock | None = None,
     injector: FaultInjector | None = None,
+    scheduler=None,
 ) -> LSMEngine:
     """Open a durable engine at ``path``: recover it, or create it fresh.
 
     ``config`` is required (and only consulted) when the directory holds
     no store yet; an existing store carries its own ``CONFIG.json``.
+    ``scheduler`` is the compaction scheduler the engine runs under once
+    open (recovery's own convergence always happens inline).
     """
     target = Path(path)
     if (target / "CONFIG.json").exists():
-        return recover_engine(target, clock=clock, injector=injector)
+        return recover_engine(
+            target, clock=clock, injector=injector, scheduler=scheduler
+        )
     if config is None:
         raise PersistenceError(
             f"{target} holds no durable store and no config was given"
         )
     store = DurableStore.create(target, config, injector)
-    return LSMEngine(config, clock=clock, store=store)
+    return LSMEngine(config, clock=clock, store=store, scheduler=scheduler)
 
 
 def recover_engine(
     path: str | Path,
     clock: SimulatedClock | None = None,
     injector: FaultInjector | None = None,
+    scheduler=None,
 ) -> LSMEngine:
-    """Rebuild the engine persisted at ``path`` (see module docstring)."""
+    """Rebuild the engine persisted at ``path`` (see module docstring).
+
+    The engine recovers under the serial scheduler — SRD roll-forward
+    and the closing ``D_th`` enforcement must not race background
+    workers against a half-rebuilt engine; ``scheduler`` is swapped in
+    as the last step, once the engine is consistent.
+    """
     store = DurableStore.open(path, injector)
     state = store.load()
     config = state.config
@@ -174,6 +186,16 @@ def recover_engine(
     # buffer's d_0 allowance), then the WAL routine drops or copies the
     # log segments themselves.
     engine.enforce_delete_persistence()
+
+    if scheduler is not None:
+        from repro.compaction.scheduler import (  # local: cycle
+            CompactionScheduler,
+            make_scheduler,
+        )
+
+        engine._owns_scheduler = not isinstance(scheduler, CompactionScheduler)
+        engine.scheduler = make_scheduler(scheduler)
+        engine.scheduler.register(engine)
 
     engine.last_recovery = info
     return engine

@@ -5,10 +5,27 @@ Level 0 is the memory buffer owned by the engine), answers point/range
 lookups across levels with correct tombstone semantics, and exposes the
 snapshot analytics the evaluation reports (entry counts, tombstone ages,
 space amplification inputs).
+
+Snapshot-consistent reads
+-------------------------
+Background compaction (:mod:`repro.compaction.scheduler`) installs merge
+results from worker threads while the write path keeps serving lookups.
+Every structural mutation therefore happens inside :meth:`install` — a
+short critical section under the tree's install lock that bumps a
+version counter — and every read first captures :meth:`read_view`, an
+immutable copy of the per-level run lists taken under the same lock.
+A reader never observes a half-swapped level (a file removed from its
+source level but not yet installed at the target): it either sees the
+complete pre-install layout or the complete post-install one. Run files
+consumed by a compaction stay readable through an old view — their
+in-memory pages are immutable — so a read racing an install is stale,
+never wrong.
 """
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Any, Iterator
 
 from repro.core.config import EngineConfig
@@ -26,6 +43,46 @@ class LSMTree:
         self.config = config
         self.stats = stats
         self.levels: list[Level] = []
+        # Guards every structural mutation (and view capture); reentrant
+        # because installers call ensure_level inside their own install
+        # section.
+        self._install_lock = threading.RLock()
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Install lock & read views
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def install(self) -> Iterator[None]:
+        """Critical section for a structural mutation (file install/remove).
+
+        Every multi-level transition (a compaction removing source files
+        and installing output, a flush adding a Level-1 run) runs inside
+        one ``install()`` block, so :meth:`read_view` always captures a
+        complete layout. Pure in-memory list surgery only — no I/O is
+        performed under this lock.
+        """
+        with self._install_lock:
+            self._version += 1
+            yield
+
+    @property
+    def version(self) -> int:
+        """Monotone install counter (bumped by every structural change)."""
+        return self._version
+
+    def read_view(self) -> list[list[list[RunFile]]]:
+        """A consistent snapshot: per level, the list of runs (file lists).
+
+        Captured under the install lock (microseconds — metadata copies
+        only), then read without it: the run lists are swapped atomically
+        by :class:`~repro.lsm.level.Level` mutators and run files are
+        immutable once installed, so the snapshot stays valid however
+        many installs land after it.
+        """
+        with self._install_lock:
+            return [list(level.runs) for level in self.levels]
 
     # ------------------------------------------------------------------
     # Level management
@@ -33,12 +90,13 @@ class LSMTree:
 
     def ensure_level(self, number: int) -> Level:
         """Return disk level ``number`` (1-based), growing the tree if needed."""
-        while len(self.levels) < number:
-            next_number = len(self.levels) + 1
-            self.levels.append(
-                Level(next_number, self.config.level_capacity_entries(next_number))
-            )
-        return self.levels[number - 1]
+        with self._install_lock:
+            while len(self.levels) < number:
+                next_number = len(self.levels) + 1
+                self.levels.append(
+                    Level(next_number, self.config.level_capacity_entries(next_number))
+                )
+            return self.levels[number - 1]
 
     def level(self, number: int) -> Level:
         """Existing level ``number`` (raises IndexError if absent)."""
@@ -78,8 +136,8 @@ class LSMTree:
         tombstone covers the newest version.
         """
         max_rt_seq: int | None = None
-        for level in self.levels:
-            for run in level.runs:
+        for level_runs in self.read_view():
+            for run in level_runs:
                 candidate: Entry | None = None
                 for run_file in run:
                     if not (run_file.min_key <= key <= run_file.max_key):
@@ -115,8 +173,8 @@ class LSMTree:
         range_tombstones: list[RangeTombstone] = list(extra_range_tombstones or [])
         for batch in extra_streams or []:
             streams.append(iter(batch))
-        for level in self.levels:
-            for run in level.runs:
+        for level_runs in self.read_view():
+            for run in level_runs:
                 for run_file in run:
                     if not run_file.overlaps_range(lo, hi):
                         continue
@@ -133,8 +191,10 @@ class LSMTree:
     # ------------------------------------------------------------------
 
     def all_files(self) -> Iterator[RunFile]:
-        for level in self.levels:
-            yield from level.files()
+        """All files in a consistent snapshot, read order (L1 down)."""
+        for level_runs in self.read_view():
+            for run in level_runs:
+                yield from run
 
     def all_range_tombstones(self) -> list[RangeTombstone]:
         return [rt for f in self.all_files() for rt in f.range_tombstones]

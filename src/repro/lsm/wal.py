@@ -28,7 +28,8 @@ from typing import Any
 from repro.core.errors import WALError
 
 _POLICY_PATTERN = re.compile(
-    r"^(?:(every_op|unsafe_none)|(group)\((\d+)\)|(interval)\((\d+(?:\.\d+)?)\))$"
+    r"^(?:(every_op|unsafe_none)|(group)\((\d+)\)"
+    r"|(interval|interval_wall)\((\d+(?:\.\d+)?)\))$"
 )
 
 
@@ -58,6 +59,15 @@ class CommitPolicy:
         milliseconds old at the next append. Simulated time (the
         ingestion-driven clock) keeps crash enumeration deterministic;
         at the default 1024 ops/s, ``interval(10)`` batches ~10 records.
+    ``interval_wall(ms)``
+        The deployment variant of ``interval``: a *wall-clock* thread
+        timer drains the pending batch ``ms`` real milliseconds after
+        its first record, whether or not another append ever arrives —
+        the bounded-staleness guarantee a real server needs, which the
+        simulated variant (drain checked only on the append path) cannot
+        give an idle engine. Timer-driven and therefore nondeterministic
+        under crash enumeration; the crash suites use the simulated
+        variant.
     ``unsafe_none``
         Never drain on the append path; only forced drains (flush /
         compaction / SRD commits, ``checkpoint()``, ``sync()``) persist
@@ -75,7 +85,7 @@ class CommitPolicy:
         if match is None:
             raise ValueError(
                 f"bad commit policy {spec!r}; expected every_op, group(n), "
-                "interval(ms), or unsafe_none"
+                "interval(ms), interval_wall(ms), or unsafe_none"
             )
         bare, group, n, interval, ms = match.groups()
         if bare:
@@ -86,7 +96,7 @@ class CommitPolicy:
             return cls(kind="group", group_size=int(n))
         if float(ms) <= 0:
             raise ValueError(f"interval must be positive, got {ms}")
-        return cls(kind="interval", interval_ms=float(ms))
+        return cls(kind=interval, interval_ms=float(ms))
 
     def should_drain(self, pending_records: int, oldest_age_seconds: float) -> bool:
         """Does the append path drain now? (Forced drains ignore this.)"""
@@ -96,13 +106,19 @@ class CommitPolicy:
             return pending_records >= self.group_size
         if self.kind == "interval":
             return oldest_age_seconds * 1000.0 >= self.interval_ms
-        return False  # unsafe_none
+        # interval_wall drains from its timer thread, unsafe_none never.
+        return False
+
+    @property
+    def timer_driven(self) -> bool:
+        """True when drains come from a wall-clock timer, not appends."""
+        return self.kind == "interval_wall"
 
     def describe(self) -> str:
         if self.kind == "group":
             return f"group({self.group_size})"
-        if self.kind == "interval":
-            return f"interval({self.interval_ms:g})"
+        if self.kind in ("interval", "interval_wall"):
+            return f"{self.kind}({self.interval_ms:g})"
         return self.kind
 
 

@@ -71,6 +71,7 @@ from contextlib import ExitStack, contextmanager
 from pathlib import Path
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.compaction.scheduler import CompactionScheduler, make_scheduler
 from repro.core.clock import SimulatedClock
 from repro.core.config import EngineConfig
 from repro.core.engine import LSMEngine
@@ -212,6 +213,17 @@ class ShardedEngine:
         How multi-shard work is dispatched: a
         :class:`~repro.shard.parallel.ShardExecutor` instance, the string
         ``"serial"`` / ``"pooled"``, or ``None`` for the serial default.
+    scheduler:
+        How member compactions execute: a :class:`~repro.compaction.
+        scheduler.CompactionScheduler` instance, ``"serial"`` /
+        ``"background"``, or ``None`` for per-member inline compaction
+        (the original behaviour). One scheduler instance is shared by
+        **every** member engine, so its worker count is the single
+        cluster-wide compaction-concurrency tunable; its FADE-priority
+        queue sends workers to whichever shard's delete-persistence
+        deadline is most at risk. The cluster owns a scheduler it
+        constructed from a string and closes it in :meth:`close`; a
+        caller-supplied instance is the caller's to close.
     ingest_queue_depth:
         When > 0, :meth:`ingest` pipelines per-shard batches through an
         :class:`~repro.shard.parallel.AsyncIngestQueue` bounded at this
@@ -240,6 +252,7 @@ class ShardedEngine:
         clock: SimulatedClock | None = None,
         max_batch: int = 1024,
         executor: ShardExecutor | str | None = None,
+        scheduler: CompactionScheduler | str | None = None,
         ingest_queue_depth: int = 0,
         store_path: str | Path | None = None,
         injector: FaultInjector | None = None,
@@ -256,6 +269,10 @@ class ShardedEngine:
         self.config = config
         self.clock = clock or SimulatedClock(config.ingestion_rate)
         self.executor = make_executor(executor)
+        # One scheduler for every member: cluster-wide compaction
+        # concurrency is its worker count. Close it only if we built it.
+        self._owns_scheduler = not isinstance(scheduler, CompactionScheduler)
+        self.scheduler = make_scheduler(scheduler)
         self.ingest_queue_depth = ingest_queue_depth
         if shard_configs is None:
             configs = [config] * partitioner.n_shards
@@ -273,12 +290,23 @@ class ShardedEngine:
         self._dir_seq = 0
         self._shard_dirs: list[str] = []
         if _members is not None:
-            # Recovery path (ShardedEngine.open): members arrive prebuilt.
+            # Recovery path (ShardedEngine.open): members arrive prebuilt
+            # (recovered under the serial scheduler); rebind them to the
+            # cluster's shared scheduler before they serve traffic.
+            for member in _members:
+                member.scheduler = self.scheduler
+                member._owns_scheduler = False  # cluster-owned, see close()
+                self.scheduler.register(member)
             self._topology = _Topology(partitioner, list(_members), max_batch)
         elif self._store_path is None:
             self._topology = _Topology(
                 partitioner,
-                [LSMEngine(shard_config, clock=self.clock) for shard_config in configs],
+                [
+                    LSMEngine(
+                        shard_config, clock=self.clock, scheduler=self.scheduler
+                    )
+                    for shard_config in configs
+                ],
                 max_batch,
             )
         else:
@@ -295,7 +323,12 @@ class ShardedEngine:
                     self._store_path / dirname, shard_config, self._injector
                 )
                 members.append(
-                    LSMEngine(shard_config, clock=self.clock, store=store)
+                    LSMEngine(
+                        shard_config,
+                        clock=self.clock,
+                        store=store,
+                        scheduler=self.scheduler,
+                    )
                 )
                 self._shard_dirs.append(dirname)
             self._topology = _Topology(partitioner, members, max_batch)
@@ -314,6 +347,7 @@ class ShardedEngine:
         path: str | Path,
         max_batch: int = 1024,
         executor: ShardExecutor | str | None = None,
+        scheduler: CompactionScheduler | str | None = None,
         ingest_queue_depth: int = 0,
         injector: FaultInjector | None = None,
     ) -> "ShardedEngine":
@@ -388,6 +422,7 @@ class ShardedEngine:
             clock=clock,
             max_batch=max_batch,
             executor=executor_obj,
+            scheduler=scheduler,
             ingest_queue_depth=ingest_queue_depth,
             injector=injector,
             _members=members,
@@ -462,12 +497,15 @@ class ShardedEngine:
             )
 
     def close(self) -> None:
-        """Drain and close every member store, then retire the executor.
+        """Drain and close every member store, then retire the executor
+        and (when cluster-owned) the compaction scheduler.
 
-        Exiting *without* closing models a crash: each member's
-        un-drained WAL batch is lost, exactly as its commit policy
-        documents.
+        Background compaction work is drained *before* the stores close,
+        so every acknowledged merge is durably committed. Exiting
+        *without* closing models a crash: each member's un-drained WAL
+        batch is lost, exactly as its commit policy documents.
         """
+        self.scheduler.drain()
         with self._gate.shared():
             topology = self._topology
             self._fan_out(
@@ -476,6 +514,8 @@ class ShardedEngine:
                 lambda shard: shard.close(),
             )
         self.executor.close()
+        if self._owns_scheduler:
+            self.scheduler.close()
 
     # ------------------------------------------------------------------
     # Topology access
@@ -784,6 +824,10 @@ class ShardedEngine:
         and route through the new topology once it is published.
         """
         with self._gate.exclusive():
+            # No user operation is in flight (exclusive gate); wait out
+            # any background compaction still merging a member before
+            # its engine is retired.
+            self.scheduler.drain()
             topology = self._topology
             partitioner = self._require_range_partitioner(
                 "split", topology.partitioner
@@ -797,6 +841,10 @@ class ShardedEngine:
                     f"bounds [{low!r}, {high!r})"
                 )
             retiring = topology.shards[shard_index]
+            # Retire from the scheduler before migrating: the migration
+            # flush must not re-enqueue an engine whose directory is
+            # about to be deleted (its hooks become no-ops).
+            self.scheduler.unregister(retiring)
             survivors = _live_entries(retiring)
             self._retired_stats.merge(retiring.stats)
 
@@ -814,8 +862,18 @@ class ShardedEngine:
                 right_store = DurableStore.create(
                     self._store_path / new_dirs[1], retiring.config, self._injector
                 )
-            left = LSMEngine(retiring.config, clock=self.clock, store=left_store)
-            right = LSMEngine(retiring.config, clock=self.clock, store=right_store)
+            left = LSMEngine(
+                retiring.config,
+                clock=self.clock,
+                store=left_store,
+                scheduler=self.scheduler,
+            )
+            right = LSMEngine(
+                retiring.config,
+                clock=self.clock,
+                store=right_store,
+                scheduler=self.scheduler,
+            )
             # Migrate into the fresh engines before publishing them: the
             # new members enter the topology fully populated.
             for entry in survivors:
@@ -861,8 +919,14 @@ class ShardedEngine:
         snapshot swap, like :meth:`split`. Returns the new split points.
         """
         with self._gate.exclusive():
+            self.scheduler.drain()  # as in split(): no merges mid-retire
             topology = self._topology
             self._require_range_partitioner("rebalance", topology.partitioner)
+            # Retire every member from the scheduler before the
+            # collection flushes re-enqueue them (see split()); undone if
+            # validation keeps the old cluster.
+            for shard in topology.shards:
+                self.scheduler.unregister(shard)
             survivors: list[Entry] = []
             per_shard = self.executor.run(
                 [
@@ -877,7 +941,9 @@ class ShardedEngine:
                 # Validate before retiring anything: the shards stay live
                 # on this path, so folding their counters into the retired
                 # bucket would double-count every cluster metric from here
-                # on.
+                # on — and they must keep their scheduler slots.
+                for shard in topology.shards:
+                    self.scheduler.register(shard)
                 raise LetheError(
                     f"cannot rebalance {n_shards} shards over "
                     f"{len(survivors)} live keys"
@@ -898,7 +964,12 @@ class ShardedEngine:
                         self._store_path / dirname, shard.config, self._injector
                     )
                 new_shards.append(
-                    LSMEngine(shard.config, clock=self.clock, store=store)
+                    LSMEngine(
+                        shard.config,
+                        clock=self.clock,
+                        store=store,
+                        scheduler=self.scheduler,
+                    )
                 )
             # Migrate before publishing, as in split().
             for entry in survivors:

@@ -14,6 +14,15 @@ same ``O(n log n)`` the skiplist amortizes.
 
 Range tombstones are accumulated in a side list, exactly as they live in a
 separate range-tombstone block on disk (§3.1.1).
+
+Concurrency: the buffer is written by exactly one thread (the engine's
+write path), but under a background compaction scheduler other threads
+*read* it while a flush is in progress. :meth:`begin_flush` therefore
+retains the drained snapshot in a side table that every read-path method
+keeps consulting until :meth:`end_flush` — a scan racing the flush sees
+the entries either here or in the freshly installed Level-1 run (or,
+harmlessly, in both: the merge de-duplicates by seqnum), never in
+neither.
 """
 
 from __future__ import annotations
@@ -34,7 +43,13 @@ class MemoryBuffer:
         must be flushed with the run that contains them.
     """
 
-    __slots__ = ("capacity_entries", "_table", "_range_tombstones")
+    __slots__ = (
+        "capacity_entries",
+        "_table",
+        "_range_tombstones",
+        "_flushing_table",
+        "_flushing_range_tombstones",
+    )
 
     def __init__(self, capacity_entries: int):
         if capacity_entries < 1:
@@ -44,6 +59,9 @@ class MemoryBuffer:
         self.capacity_entries = capacity_entries
         self._table: dict[Any, Entry] = {}
         self._range_tombstones: list[RangeTombstone] = []
+        # The in-flight flush snapshot (see the module docstring).
+        self._flushing_table: dict[Any, Entry] = {}
+        self._flushing_range_tombstones: list[RangeTombstone] = []
 
     # ------------------------------------------------------------------
     # Write path
@@ -90,15 +108,26 @@ class MemoryBuffer:
         a covering range tombstone yields a synthetic ``None`` via the
         engine, which checks :meth:`range_deleted`).
         """
-        return self._table.get(key)
+        entry = self._table.get(key)
+        if entry is None and self._flushing_table:
+            entry = self._flushing_table.get(key)
+        return entry
 
     def range_deleted(self, key: Any, seqnum: int) -> bool:
         """True if a buffered range tombstone covers ``key``@``seqnum``."""
-        return any(rt.covers(key, seqnum) for rt in self._range_tombstones)
+        if any(rt.covers(key, seqnum) for rt in self._range_tombstones):
+            return True
+        return any(
+            rt.covers(key, seqnum) for rt in self._flushing_range_tombstones
+        )
 
     def scan(self, lo: Any, hi: Any) -> list[Entry]:
         """Buffered entries with sort key in ``[lo, hi]``, key-ordered."""
-        hits = [e for k, e in self._table.items() if lo <= k <= hi]
+        table = self._table
+        if self._flushing_table:
+            # Mid-flush snapshot: live entries shadow flushing ones.
+            table = {**self._flushing_table, **self._table}
+        hits = [e for k, e in table.items() if lo <= k <= hi]
         hits.sort(key=lambda e: e.key)
         return hits
 
@@ -119,7 +148,7 @@ class MemoryBuffer:
 
     @property
     def range_tombstones(self) -> tuple[RangeTombstone, ...]:
-        return tuple(self._range_tombstones)
+        return tuple(self._flushing_range_tombstones + self._range_tombstones)
 
     def size_bytes(self) -> int:
         """Declared bytes buffered (entries plus range tombstones)."""
@@ -162,9 +191,15 @@ class MemoryBuffer:
 
     def scan_delete_key_range(self, d_lo: Any, d_hi: Any) -> list[Entry]:
         """Buffered entries with delete key in ``[d_lo, d_hi)`` (unordered)."""
+        candidates = list(self._table.values())
+        if self._flushing_table:
+            live = set(self._table)
+            candidates += [
+                e for k, e in self._flushing_table.items() if k not in live
+            ]
         return [
             e
-            for e in self._table.values()
+            for e in candidates
             if e.delete_key is not None and d_lo <= e.delete_key < d_hi
         ]
 
@@ -176,9 +211,34 @@ class MemoryBuffer:
         """
         entries = sorted(self._table.values(), key=lambda e: e.key)
         range_tombstones = list(self._range_tombstones)
-        self._table.clear()
-        self._range_tombstones.clear()
+        self._table = {}
+        self._range_tombstones = []
         return entries, range_tombstones
+
+    def begin_flush(self) -> tuple[list[Entry], list[RangeTombstone]]:
+        """Like :meth:`drain`, but the snapshot stays readable.
+
+        The drained entries and range tombstones move to the flushing
+        side tables that :meth:`get`/:meth:`scan`/:meth:`range_deleted`/
+        :meth:`scan_delete_key_range` keep consulting, so a reader racing
+        the flush never observes the window between the buffer emptying
+        and the Level-1 install. The engine calls :meth:`end_flush` once
+        the run is installed in the tree.
+        """
+        entries = sorted(self._table.values(), key=lambda e: e.key)
+        range_tombstones = list(self._range_tombstones)
+        # Reference moves, not copies: the live dicts are rebound fresh,
+        # so the snapshot's contents are immutable from here on.
+        self._flushing_table = self._table
+        self._flushing_range_tombstones = range_tombstones
+        self._table = {}
+        self._range_tombstones = []
+        return entries, range_tombstones
+
+    def end_flush(self) -> None:
+        """Drop the flushing snapshot (its run is installed in the tree)."""
+        self._flushing_table = {}
+        self._flushing_range_tombstones = []
 
     def __iter__(self) -> Iterator[Entry]:
         """Iterate buffered entries in sort-key order (non-destructive)."""

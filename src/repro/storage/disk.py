@@ -15,6 +15,7 @@ page to the file system" full-page drops (§4.2.2) have a concrete target.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass
 
@@ -70,6 +71,9 @@ class SimulatedDisk:
         self.real_io_seconds = real_io_seconds
         self._extents: dict[int, FileExtent] = {}
         self._next_file_id = 0
+        # Flushes (ingest thread) and compactions (background workers)
+        # allocate and free extents concurrently.
+        self._alloc_lock = threading.Lock()
 
     def _device_wait(self, pages: int) -> None:
         if self.real_io_seconds > 0.0 and pages > 0:
@@ -102,16 +106,18 @@ class SimulatedDisk:
         """
         if pages < 0:
             raise StorageError(f"cannot allocate negative pages ({pages})")
-        file_id = self._next_file_id
-        self._next_file_id += 1
-        self._extents[file_id] = FileExtent(file_id, pages, size_bytes)
+        with self._alloc_lock:
+            file_id = self._next_file_id
+            self._next_file_id += 1
+            self._extents[file_id] = FileExtent(file_id, pages, size_bytes)
         return file_id
 
     def free(self, file_id: int) -> None:
         """Release a file's extent (post-compaction cleanup)."""
-        if file_id not in self._extents:
-            raise StorageError(f"double free or unknown file id {file_id}")
-        del self._extents[file_id]
+        with self._alloc_lock:
+            if file_id not in self._extents:
+                raise StorageError(f"double free or unknown file id {file_id}")
+            del self._extents[file_id]
 
     def shrink(self, file_id: int, dropped_pages: int, dropped_bytes: int) -> None:
         """Release part of a file's extent without I/O — a full page drop.
@@ -136,17 +142,22 @@ class SimulatedDisk:
     # ------------------------------------------------------------------
 
     def charge_read(self, pages: int = 1) -> None:
-        """Account for reading ``pages`` pages."""
+        """Account for reading ``pages`` pages.
+
+        Charged through the locked :meth:`~repro.core.stats.Statistics.
+        add` — compaction workers read pages concurrently with the
+        ingest thread's flush writes.
+        """
         if pages < 0:
             raise StorageError(f"negative read ({pages} pages)")
-        self.stats.pages_read += pages
+        self.stats.add(pages_read=pages)
         self._device_wait(pages)
 
     def charge_write(self, pages: int = 1) -> None:
-        """Account for writing ``pages`` pages."""
+        """Account for writing ``pages`` pages (locked, see charge_read)."""
         if pages < 0:
             raise StorageError(f"negative write ({pages} pages)")
-        self.stats.pages_written += pages
+        self.stats.add(pages_written=pages)
         self._device_wait(pages)
 
     def read_cached(self, page_uid: int) -> bool:

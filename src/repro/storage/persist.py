@@ -33,7 +33,11 @@ gives one engine a real directory:
     (surviving pages by base-entry ordinal, plus refreshed metadata) to
     the existing blob — the base section stays valid, decoding applies
     the last intact delta, and a mutation that is not a pure shrink
-    falls back to a full rewrite under a bumped *generation*.
+    falls back to a full rewrite under a bumped *generation*. Delta
+    chains are bounded: :meth:`DurableStore.checkpoint` rewrites any
+    blob whose chain exceeds :data:`DurableStore.MAX_DELTA_CHAIN`
+    frames clean under a fresh generation, so repeated secondary
+    deletes never accrete an unbounded tail.
 ``MANIFEST.log``
     The commit log. Every flush/compaction/secondary-delete appends one
     framed record carrying the complete tree layout (levels → runs →
@@ -294,17 +298,34 @@ class DurableStore:
     """One engine's durable directory. See the module docstring for the
     on-disk layout and the commit protocol."""
 
+    #: Delta frames tolerated on one run blob before :meth:`checkpoint`
+    #: rewrites it clean — bounds both blob size and recovery decode work
+    #: (deltas otherwise accrete until the file happens to be compacted).
+    MAX_DELTA_CHAIN = 4
+
     def __init__(self, path: str | Path, injector: FaultInjector | None = None):
         self.path = Path(path)
         self.injector = injector or FaultInjector(armed=False)
         self._engine: Any = None
-        # file_number -> (generation, (num_entries, num_pages)) of the
-        # last blob written; mutation detection for KiWi page drops.
-        self._recorded: dict[int, tuple[int, tuple[int, int]]] = {}
+        # file_number -> (generation, (num_entries, num_pages), deltas):
+        # the last blob written, its shape signature (mutation detection
+        # for KiWi page drops), and the length of its appended
+        # delete-tile delta chain.
+        self._recorded: dict[int, tuple[int, tuple[int, int], int]] = {}
         self._pending_srds: list[dict] = []
         self._policy = CommitPolicy()
         self._fsync = True
         self._appenders: dict[int, _SegmentAppender] = {}
+        # Group-commit serialization: the append path (ingest thread)
+        # and the forced drains of manifest commits — which a background
+        # compaction worker issues — mutate the same pending batches.
+        self._wal_mutex = threading.RLock()
+        # Wall-clock interval policy: one pending timer drains the batch
+        # interval_ms real milliseconds after its first record. The
+        # factory is injectable so tests drive a fake timer by hand.
+        self.timer_factory: Any = threading.Timer
+        self._drain_timer: Any = None
+        self._timer_error: BaseException | None = None
 
     def _configure(self, config: EngineConfig) -> None:
         """Adopt the durability knobs (commit policy, fsync) of ``config``."""
@@ -377,10 +398,14 @@ class DurableStore:
 
     def close(self) -> None:
         """Drain pending WAL batches and release the open segment handles."""
-        self.wal_sync()
-        for appender in self._appenders.values():
-            appender.close()
-        self._appenders.clear()
+        with self._wal_mutex:
+            if self._drain_timer is not None:
+                self._drain_timer.cancel()
+                self._drain_timer = None
+            self.wal_sync()
+            for appender in self._appenders.values():
+                appender.close()
+            self._appenders.clear()
 
     def attach(self, engine: Any) -> None:
         """Bind the engine whose state this store snapshots at commits."""
@@ -476,29 +501,68 @@ class DurableStore:
         exactly; the other policies trade bounded loss of *acknowledged
         but undrained* operations for fewer physical writes and fsyncs.
         Durable state always advances whole batches, so recovery lands on
-        an exact operation prefix, never a torn suffix.
+        an exact operation prefix, never a torn suffix. The whole path
+        holds the store's WAL mutex: a manifest commit's forced drain
+        (which a background compaction worker may issue) must never
+        observe a half-appended batch.
         """
-        appender = self._appenders.get(segment.segment_id)
-        if appender is None:
-            appender = _SegmentAppender(self._segment_path(segment.segment_id))
-            if not appender.path.exists():
-                header = json.dumps(
-                    {
-                        "segment_id": segment.segment_id,
-                        "opened_at": segment.opened_at,
-                    }
-                ).encode("utf-8")
-                appender.pending += _WAL_MAGIC + frame_bytes(header)
-            self._appenders[segment.segment_id] = appender
-        appender.pending += frame_bytes(_encode_wal_record(record))
-        appender.pending_records += 1
-        if appender.pending_opened_at is None:
-            appender.pending_opened_at = record.written_at
-        if self._policy.should_drain(
-            self._pending_wal_records(),
-            record.written_at - self._oldest_pending_at(record.written_at),
-        ):
-            self.wal_sync()
+        with self._wal_mutex:
+            self._reraise_timer_error()
+            appender = self._appenders.get(segment.segment_id)
+            if appender is None:
+                appender = _SegmentAppender(self._segment_path(segment.segment_id))
+                if not appender.path.exists():
+                    header = json.dumps(
+                        {
+                            "segment_id": segment.segment_id,
+                            "opened_at": segment.opened_at,
+                        }
+                    ).encode("utf-8")
+                    appender.pending += _WAL_MAGIC + frame_bytes(header)
+                self._appenders[segment.segment_id] = appender
+            appender.pending += frame_bytes(_encode_wal_record(record))
+            appender.pending_records += 1
+            if appender.pending_opened_at is None:
+                appender.pending_opened_at = record.written_at
+            if self._policy.timer_driven:
+                self._arm_drain_timer()
+            elif self._policy.should_drain(
+                self._pending_wal_records(),
+                record.written_at - self._oldest_pending_at(record.written_at),
+            ):
+                self.wal_sync()
+
+    def _arm_drain_timer(self) -> None:
+        """Schedule the wall-clock drain for an ``interval_wall`` batch.
+
+        One timer at a time, armed when the batch's first record lands;
+        caller holds the WAL mutex. The timer thread's drain serializes
+        through the same mutex, and any error it hits (an injected crash,
+        a full disk) is re-raised to the writer on its next append or
+        sync — a background fsync failure must not be silently swallowed.
+        """
+        if self._drain_timer is not None:
+            return
+        timer = self.timer_factory(
+            self._policy.interval_ms / 1000.0, self._timer_drain
+        )
+        if hasattr(timer, "daemon"):
+            timer.daemon = True
+        self._drain_timer = timer
+        timer.start()
+
+    def _timer_drain(self) -> None:
+        with self._wal_mutex:
+            self._drain_timer = None
+            try:
+                self.wal_sync()
+            except BaseException as exc:  # noqa: BLE001 - surfaced to writer
+                self._timer_error = exc
+
+    def _reraise_timer_error(self) -> None:
+        if self._timer_error is not None:
+            error, self._timer_error = self._timer_error, None
+            raise error
 
     def _pending_wal_records(self) -> int:
         return sum(a.pending_records for a in self._appenders.values())
@@ -519,23 +583,27 @@ class DurableStore:
         Called by every manifest commit before the commit record is
         appended — the commit point must never outrun the WAL — and by
         :meth:`checkpoint`/:meth:`close`. Each segment's batch is one
-        physical append: one injector boundary, one fsync.
+        physical append: one injector boundary, one fsync. Serialized
+        against concurrent appends by the WAL mutex (manifest commits
+        may run on a background compaction worker).
         """
-        for segment_id in sorted(self._appenders):
-            appender = self._appenders[segment_id]
-            if not appender.pending_records and not appender.pending:
-                continue
-            self.injector.before_write(
-                f"wal-append[{appender.pending_records}]"
-            )
-            if appender.handle is None:
-                appender.handle = open(appender.path, "ab")
-            appender.handle.write(bytes(appender.pending))
-            appender.handle.flush()
-            self._fsync_handle(appender.handle)
-            appender.pending = bytearray()
-            appender.pending_records = 0
-            appender.pending_opened_at = None
+        with self._wal_mutex:
+            self._reraise_timer_error()
+            for segment_id in sorted(self._appenders):
+                appender = self._appenders[segment_id]
+                if not appender.pending_records and not appender.pending:
+                    continue
+                self.injector.before_write(
+                    f"wal-append[{appender.pending_records}]"
+                )
+                if appender.handle is None:
+                    appender.handle = open(appender.path, "ab")
+                appender.handle.write(bytes(appender.pending))
+                appender.handle.flush()
+                self._fsync_handle(appender.handle)
+                appender.pending = bytearray()
+                appender.pending_records = 0
+                appender.pending_opened_at = None
 
     def _drop_appenders(self, segment_ids: list[int]) -> None:
         """Discard appender state for segments leaving the live set.
@@ -545,10 +613,11 @@ class DurableStore:
         in a D_th-dropped segment were either flushed or copied into the
         rewrite's fresh segment, which is written whole.
         """
-        for segment_id in segment_ids:
-            appender = self._appenders.pop(segment_id, None)
-            if appender is not None:
-                appender.close()
+        with self._wal_mutex:
+            for segment_id in segment_ids:
+                appender = self._appenders.pop(segment_id, None)
+                if appender is not None:
+                    appender.close()
 
     def wal_purge(self, segment_ids: list[int]) -> None:
         """Delete segment files wholly below the flush watermark."""
@@ -634,19 +703,22 @@ class DurableStore:
             number = run_file.meta.file_number
             signature = (run_file.meta.num_entries, run_file.num_pages)
             recorded = self._recorded.get(number)
+            deltas = 0
             if recorded is None:
                 generation = 0
                 self._write_run(run_file, generation)
             elif recorded[1] != signature:
                 generation = recorded[0]
-                if not self._append_run_delta(run_file, generation):
+                if self._append_run_delta(run_file, generation):
+                    deltas = recorded[2] + 1
+                else:
                     # Not a pure shrink (defensive): fall back to a full
                     # rewrite under a bumped generation.
                     generation += 1
                     self._write_run(run_file, generation)
             else:
-                generation = recorded[0]
-            self._recorded[number] = (generation, signature)
+                generation, deltas = recorded[0], recorded[2]
+            self._recorded[number] = (generation, signature, deltas)
             return generation
 
         layout, referenced = self._layout_snapshot(engine, materialize)
@@ -668,20 +740,30 @@ class DurableStore:
 
         The engine flushes first (see :meth:`LSMEngine.checkpoint`), so
         the WAL tail is empty up to the watermark and recovery from a
-        fresh checkpoint replays nothing.
+        fresh checkpoint replays nothing. Run blobs whose appended
+        delete-tile delta chain has grown past :data:`MAX_DELTA_CHAIN`
+        are rewritten clean under a bumped generation here — the blob
+        analogue of the manifest compaction, so repeated secondary range
+        deletes cannot accrete an unbounded delta tail onto a long-lived
+        file.
         """
         engine = self._require_engine()
         self.wal_sync()
         self.write_clock(engine.clock.now)
 
         def recorded_generation(run_file: Any) -> int:
-            recorded = self._recorded.get(run_file.meta.file_number)
+            number = run_file.meta.file_number
+            recorded = self._recorded.get(number)
             if recorded is None:  # pragma: no cover - commit precedes
                 raise PersistenceError(
-                    f"checkpoint found uncommitted file "
-                    f"{run_file.meta.file_number}"
+                    f"checkpoint found uncommitted file {number}"
                 )
-            return recorded[0]
+            generation, signature, deltas = recorded
+            if deltas > self.MAX_DELTA_CHAIN:
+                generation += 1
+                self._write_run(run_file, generation)
+                self._recorded[number] = (generation, signature, 0)
+            return generation
 
         layout, referenced = self._layout_snapshot(engine, recorded_generation)
         self._pending_srds = [
@@ -957,7 +1039,21 @@ class DurableStore:
                     self._recorded[number] = (
                         generation,
                         (run_file.meta.num_entries, run_file.num_pages),
+                        self._delta_chain_length(number, generation),
                     )
+
+    def _delta_chain_length(self, file_number: int, generation: int) -> int:
+        """Appended delta frames on a recovered blob (base is 3 frames).
+
+        Counted from the file so a recovered store keeps honouring the
+        :data:`MAX_DELTA_CHAIN` bound — a chain built before the crash
+        must still collapse at the next checkpoint.
+        """
+        target = self._run_path(file_number, generation)
+        if not target.exists():  # pragma: no cover - defensive
+            return 0
+        blob = target.read_bytes()
+        return max(0, sum(1 for _ in read_frames(blob, len(_RUN_MAGIC))) - 3)
 
 
 # ---------------------------------------------------------------------------

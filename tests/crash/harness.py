@@ -151,14 +151,18 @@ class CrashRun:
 
 
 def count_crash_points(
-    ops: list[tuple], config_factory: Callable[[], Any]
+    ops: list[tuple],
+    config_factory: Callable[[], Any],
+    scheduler_factory: Callable[[], Any] | None = None,
 ) -> int:
     """Total durable write boundaries the op sequence crosses."""
-    return trace_crash_points(ops, config_factory).writes
+    return trace_crash_points(ops, config_factory, scheduler_factory).writes
 
 
 def trace_crash_points(
-    ops: list[tuple], config_factory: Callable[[], Any]
+    ops: list[tuple],
+    config_factory: Callable[[], Any],
+    scheduler_factory: Callable[[], Any] | None = None,
 ) -> FaultInjector:
     """Replay ``ops`` with a counting injector; return it, labels included.
 
@@ -166,17 +170,29 @@ def trace_crash_points(
     boundary *type* — the index of a ``wal-rewrite`` or ``run-delta``
     label in ``injector.labels`` is exactly the ``crash_at`` that kills
     that write, because replays of the same sequence are deterministic.
+    ``scheduler_factory`` (optional) supplies a compaction scheduler per
+    replay — a deterministic-commits background scheduler produces the
+    same boundary stream as the serial default while executing the
+    compactions on worker threads.
     """
     injector = FaultInjector(armed=False)
+    scheduler = scheduler_factory() if scheduler_factory is not None else None
     with tempfile.TemporaryDirectory() as tmp:
-        engine = LSMEngine.open(
-            os.path.join(tmp, "db"), config=config_factory(), injector=injector
-        )
-        injector.armed = True
-        model: dict = {}
-        counter = [0]
-        for op in ops:
-            apply_both(engine, model, op, counter)
+        try:
+            engine = LSMEngine.open(
+                os.path.join(tmp, "db"),
+                config=config_factory(),
+                injector=injector,
+                scheduler=scheduler,
+            )
+            injector.armed = True
+            model: dict = {}
+            counter = [0]
+            for op in ops:
+                apply_both(engine, model, op, counter)
+        finally:
+            if scheduler is not None:
+                scheduler.close()
     return injector
 
 
@@ -185,16 +201,23 @@ def run_crash(
     config_factory: Callable[[], Any],
     crash_at: int,
     tmp: str,
+    scheduler_factory: Callable[[], Any] | None = None,
 ) -> CrashRun:
     """Replay ``ops`` with a crash at write boundary ``crash_at``, recover.
 
     ``crash_at`` must be < the sequence's total write count, so the crash
     is guaranteed to fire. The store directory lives under ``tmp`` (the
-    caller owns cleanup).
+    caller owns cleanup). Under a background ``scheduler_factory`` the
+    crash may surface from a worker thread's commit — it reaches this
+    thread through the scheduler's error propagation, during whatever
+    operation hit the next barrier.
     """
     path = os.path.join(tmp, "db")
     injector = CrashPoint(crash_at, armed=False)
-    engine = LSMEngine.open(path, config=config_factory(), injector=injector)
+    scheduler = scheduler_factory() if scheduler_factory is not None else None
+    engine = LSMEngine.open(
+        path, config=config_factory(), injector=injector, scheduler=scheduler
+    )
     injector.armed = True
 
     model: dict = {}
@@ -216,6 +239,9 @@ def run_crash(
     except SimulatedCrash:
         crashed = True
         remaining = list(ops[index:])
+    finally:
+        if scheduler is not None:
+            scheduler.close()
 
     model_after = dict(model_before)
     counter_after = [counter_before]

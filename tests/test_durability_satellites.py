@@ -1,0 +1,266 @@
+"""Durability satellites: wall-clock commit timer + blob delta compaction.
+
+Two follow-ups the durability PR left on the roadmap:
+
+* ``interval_wall(ms)`` — a *wall-clock* thread-timer drain for the WAL
+  group-commit batch, for deployments where an idle engine must still
+  bound acknowledged-but-undrained loss in real time (the simulated
+  ``interval(ms)`` only drains on the append path). Tested with a fake
+  timer injected through ``DurableStore.timer_factory`` so nothing
+  sleeps and firing is exact.
+* Blob delta compaction — ``DurableStore.checkpoint()`` rewrites any
+  run blob whose appended delete-tile delta chain exceeds
+  ``MAX_DELTA_CHAIN``, so repeated secondary range deletes no longer
+  accrete an unbounded delta tail onto a long-lived blob.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import lethe_config
+from repro.core.engine import LSMEngine
+from repro.lsm.wal import CommitPolicy
+from repro.storage.persist import _RUN_MAGIC, DurableStore, read_frames
+
+from tests.conftest import TINY
+
+
+# ---------------------------------------------------------------------------
+# interval_wall policy
+# ---------------------------------------------------------------------------
+
+
+class FakeTimer:
+    """Records scheduled drains; the test fires them by hand."""
+
+    instances: list["FakeTimer"] = []
+
+    def __init__(self, interval_seconds, callback):
+        self.interval_seconds = interval_seconds
+        self.callback = callback
+        self.started = False
+        self.cancelled = False
+        self.daemon = False
+        FakeTimer.instances.append(self)
+
+    def start(self):
+        self.started = True
+
+    def cancel(self):
+        self.cancelled = True
+
+    def fire(self):
+        assert self.started and not self.cancelled
+        self.callback()
+
+
+@pytest.fixture(autouse=True)
+def _reset_fake_timers():
+    FakeTimer.instances = []
+    yield
+    FakeTimer.instances = []
+
+
+def test_interval_wall_parses_and_reports_timer_driven():
+    policy = CommitPolicy.parse("interval_wall(25)")
+    assert policy.kind == "interval_wall"
+    assert policy.interval_ms == 25.0
+    assert policy.timer_driven
+    assert policy.describe() == "interval_wall(25)"
+    # The append path never drains it; the timer does.
+    assert not policy.should_drain(10**6, 10**6)
+    assert not CommitPolicy.parse("interval(25)").timer_driven
+    with pytest.raises(ValueError):
+        CommitPolicy.parse("interval_wall(0)")
+
+
+def test_interval_wall_timer_drains_the_pending_batch(tmp_path):
+    engine = LSMEngine.open(
+        tmp_path / "db",
+        config=lethe_config(1e9, wal_commit_policy="interval_wall(20)", **TINY),
+    )
+    engine.store.timer_factory = FakeTimer
+
+    engine.put(1, "v1")
+    engine.put(2, "v2")
+    # Nothing drained yet: acknowledged records sit in the pending batch,
+    # and exactly one timer is armed (at the batch's first record).
+    assert engine.store._pending_wal_records() == 2
+    assert len(FakeTimer.instances) == 1
+    assert FakeTimer.instances[0].interval_seconds == pytest.approx(0.020)
+
+    FakeTimer.instances[0].fire()
+    assert engine.store._pending_wal_records() == 0
+
+    # The drained tail is durable: a crash (reopen without close) now
+    # recovers both puts.
+    engine.put(3, "v3")  # re-arms a fresh timer for the next batch
+    assert len(FakeTimer.instances) == 2
+    recovered = LSMEngine.open(tmp_path / "db")
+    assert recovered.get(1) == "v1" and recovered.get(2) == "v2"
+    assert recovered.get(3) is None, "undrained batch is designed loss"
+    recovered.close()
+
+
+def test_interval_wall_timer_error_reaches_the_next_append(tmp_path):
+    engine = LSMEngine.open(
+        tmp_path / "db",
+        config=lethe_config(1e9, wal_commit_policy="interval_wall(20)", **TINY),
+    )
+    store = engine.store
+    store.timer_factory = FakeTimer
+    engine.put(1, "v1")
+
+    boom = RuntimeError("fsync died in the background")
+    original = store.wal_sync
+
+    def exploding_sync():
+        raise boom
+
+    store.wal_sync = exploding_sync
+    FakeTimer.instances[0].fire()  # error is stashed, not raised here
+    store.wal_sync = original
+    with pytest.raises(RuntimeError, match="fsync died"):
+        engine.put(2, "v2")
+
+
+def test_close_cancels_a_pending_wall_timer(tmp_path):
+    engine = LSMEngine.open(
+        tmp_path / "db",
+        config=lethe_config(1e9, wal_commit_policy="interval_wall(20)", **TINY),
+    )
+    engine.store.timer_factory = FakeTimer
+    engine.put(1, "v1")
+    engine.close()
+    assert FakeTimer.instances[0].cancelled
+    # close() force-drained, so the record is durable despite the cancel.
+    recovered = LSMEngine.open(tmp_path / "db")
+    assert recovered.get(1) == "v1"
+    recovered.close()
+
+
+def test_real_threading_timer_drains_an_idle_engine(tmp_path):
+    """End-to-end with the real threading.Timer: an idle engine's batch
+    reaches disk without any further append."""
+    import time
+
+    engine = LSMEngine.open(
+        tmp_path / "db",
+        config=lethe_config(1e9, wal_commit_policy="interval_wall(10)", **TINY),
+    )
+    engine.put(1, "v1")
+    deadline = time.time() + 5.0
+    while engine.store._pending_wal_records() and time.time() < deadline:
+        time.sleep(0.005)
+    assert engine.store._pending_wal_records() == 0, "timer never drained"
+    recovered = LSMEngine.open(tmp_path / "db")  # no close: crash model
+    assert recovered.get(1) == "v1"
+    recovered.close()
+
+
+# ---------------------------------------------------------------------------
+# Blob delta compaction at checkpoint
+# ---------------------------------------------------------------------------
+
+
+def delta_frame_count(store: DurableStore, file_number: int, generation: int) -> int:
+    blob = store._run_path(file_number, generation).read_bytes()
+    assert blob.startswith(_RUN_MAGIC)
+    return sum(1 for _ in read_frames(blob, len(_RUN_MAGIC))) - 3
+
+
+def build_kiwi_engine_with_delta_chain(path, mutations: int) -> LSMEngine:
+    """A durable KiWi engine whose files carry ``mutations`` delta frames.
+
+    Each secondary range delete drops a little more of every file and
+    commits, appending one shape delta per mutated blob per commit.
+    """
+    engine = LSMEngine.open(
+        path,
+        config=lethe_config(1e9, delete_tile_pages=4, **TINY),
+    )
+    for i in range(600):
+        engine.put(i, f"v{i}", delete_key=i)
+    engine.flush()
+    for step in range(mutations):
+        engine.secondary_range_delete(step * 4, step * 4 + 2)
+    return engine
+
+
+def test_long_delta_chain_collapses_to_one_clean_blob(tmp_path):
+    mutations = DurableStore.MAX_DELTA_CHAIN + 3
+    engine = build_kiwi_engine_with_delta_chain(tmp_path / "db", mutations)
+    store = engine.store
+
+    chains = {
+        number: (generation, deltas)
+        for number, (generation, _sig, deltas) in store._recorded.items()
+        if deltas > store.MAX_DELTA_CHAIN
+    }
+    assert chains, "no blob accreted a long delta chain; grow the workload"
+    for number, (generation, deltas) in chains.items():
+        assert delta_frame_count(store, number, generation) == deltas
+
+    engine.checkpoint()
+
+    for number, (old_generation, _deltas) in chains.items():
+        generation, _sig, deltas = store._recorded[number]
+        assert generation == old_generation + 1, "generation must bump"
+        assert deltas == 0
+        assert delta_frame_count(store, number, generation) == 0
+        assert not store._run_path(number, old_generation).exists(), (
+            "the delta-laden blob must be pruned"
+        )
+
+    # The rewritten blobs recover byte-for-byte equivalent state.
+    surface = tuple(engine.scan(0, 601))
+    engine.close()
+    recovered = LSMEngine.open(tmp_path / "db")
+    assert tuple(recovered.scan(0, 601)) == surface
+    recovered.close()
+
+
+def test_short_delta_chains_survive_checkpoint_untouched(tmp_path):
+    engine = build_kiwi_engine_with_delta_chain(tmp_path / "db", 2)
+    store = engine.store
+    before = {
+        number: generation
+        for number, (generation, _sig, deltas) in store._recorded.items()
+        if 0 < deltas <= store.MAX_DELTA_CHAIN
+    }
+    assert before, "expected some short chains"
+    engine.checkpoint()
+    for number, generation in before.items():
+        assert store._recorded[number][0] == generation, (
+            "short chains must not be rewritten (bounded, not zeroed)"
+        )
+    engine.close()
+
+
+def test_recovered_store_keeps_honouring_the_chain_bound(tmp_path):
+    """Delta counts are re-derived from the blobs at recovery, so a
+    chain built before a crash still collapses at the next checkpoint."""
+    mutations = DurableStore.MAX_DELTA_CHAIN + 3
+    engine = build_kiwi_engine_with_delta_chain(tmp_path / "db", mutations)
+    long_chains = {
+        number
+        for number, (_g, _s, deltas) in engine.store._recorded.items()
+        if deltas > DurableStore.MAX_DELTA_CHAIN
+    }
+    surface = tuple(engine.scan(0, 601))
+    engine.close()
+
+    recovered = LSMEngine.open(tmp_path / "db")
+    recorded = recovered.store._recorded
+    assert any(
+        recorded[number][2] > DurableStore.MAX_DELTA_CHAIN
+        for number in long_chains
+        if number in recorded
+    ), "recovery must re-derive delta chain lengths from the blobs"
+    recovered.checkpoint()
+    assert all(
+        deltas == 0 for _g, _s, deltas in recovered.store._recorded.values()
+    )
+    assert tuple(recovered.scan(0, 601)) == surface
+    recovered.close()

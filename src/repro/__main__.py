@@ -50,11 +50,24 @@ _STANDALONE = {
     "compaction": lambda scale, executor, quick: ex.compaction_experiment(
         scale, quick=quick
     ),
+    "metrics": lambda scale, executor, quick: ex.metrics_experiment(
+        scale, quick=quick
+    ),
 }
 
 # Reduced scale for `--quick` (CI smoke): enough volume that flushes,
 # compactions, and WAL segments all still engage.
 QUICK_INSERTS = 2000
+
+
+def _finish_trace(trace_path: str | None) -> None:
+    """Dump the process-global span ring to a Chrome trace-event file."""
+    if not trace_path:
+        return
+    from repro.obs import global_tracer
+
+    spans = global_tracer().write_chrome_trace(trace_path)
+    print(f"[{spans} spans written to {trace_path}]")
 
 
 def _scale_from(args: argparse.Namespace) -> ExperimentScale:
@@ -89,16 +102,11 @@ def _run_one(
     print(result.report)
     print(f"[{name} done in {elapsed:.1f}s]\n")
     if json_path:
-        import json
+        from repro.bench.reporting import write_experiment_json
 
-        payload = {
-            "figure": result.figure,
-            "elapsed_seconds": round(elapsed, 3),
-            "series": result.series,
-        }
-        with open(json_path, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True, default=str)
-            handle.write("\n")
+        write_experiment_json(
+            json_path, result.figure, result.series, elapsed_seconds=elapsed
+        )
         print(f"[series written to {json_path}]")
 
 
@@ -111,7 +119,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
-        "recovery, wal, compaction), 'all', or 'list'",
+        "recovery, wal, compaction, metrics), 'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",
@@ -139,7 +147,23 @@ def main(argv: list[str] | None = None) -> int:
         help="also dump the experiment's series to PATH as JSON "
         "(e.g. BENCH_wal.json)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record spans from every engine the experiment builds and "
+        "write a Chrome trace-event file to PATH (open in "
+        "chrome://tracing or https://ui.perfetto.dev)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        # Process-wide override: every engine the experiment constructs
+        # records spans/histograms, whatever its config says. Samplers
+        # stay off — short-lived bench engines shouldn't spawn threads.
+        from repro import obs
+
+        obs.force_enable()
 
     known = dict(**_SWEEP_FIGURES, **_STANDALONE)
     if args.experiment == "list":
@@ -164,6 +188,7 @@ def main(argv: list[str] | None = None) -> int:
                 name, scale, sweep_cache, args.executor, args.quick,
                 per_experiment,
             )
+        _finish_trace(args.trace)
         return 0
     if args.experiment not in known:
         print(f"unknown experiment {args.experiment!r}; try 'list'",
@@ -173,6 +198,7 @@ def main(argv: list[str] | None = None) -> int:
         args.experiment, scale, sweep_cache, args.executor, args.quick,
         args.json,
     )
+    _finish_trace(args.trace)
     return 0
 
 

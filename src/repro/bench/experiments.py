@@ -1800,3 +1800,232 @@ def compaction_experiment(
         series={"engine": series, "cluster": cluster_series},
         report=report,
     )
+
+
+def metrics_experiment(
+    scale: ExperimentScale = BENCH_SCALE,
+    delete_fraction: float = 0.05,
+    repeats: int = 3,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Observability layer: enabled-mode overhead plus a metrics tour.
+
+    Part A replays the identical delete-heavy stream (plus its point
+    lookups) against two in-memory Lethe engines — observability off
+    and on — advanced *in lockstep*: the stream is cut into chunks and
+    each chunk is timed on both engines back-to-back (alternating which
+    goes first), so slow machine-level drift lands on both modes
+    equally. The whole pairing repeats ``repeats`` times and each
+    chunk's timing is the minimum across repeats — noise only ever
+    inflates a measurement, so the per-chunk minimum is the cleanest
+    view of the instrumentation cost itself. The ingest overhead is the
+    number ``benchmarks/test_obs_overhead.py`` gates (< 5%).
+
+    Part B keeps the instrumented engine and reports what the layer
+    captured: op-latency percentiles from the log-bucketed histograms,
+    span counts by name from the process tracer, sampler time-series
+    length, and the size of the Prometheus exposition.
+    """
+    from repro.obs import force_enabled, global_tracer, reset_global_tracer
+    from repro.obs.export import parse_exposition, prometheus_exposition
+
+    if quick:
+        repeats = 2
+
+    ingest_ops, query_ops, runtime = workload_for(scale, delete_fraction)
+    d_th = max(0.25 * runtime, 1e-3)
+    lookups = [op for op in query_ops if op[0] == "get"]
+
+    def build(observability: bool) -> LSMEngine:
+        return LSMEngine(
+            lethe_config(
+                d_th,
+                delete_tile_pages=4,
+                observability=observability,
+                # Part A measures instrumentation cost, not sampler cost:
+                # the sampler thread wakes 40×/s regardless of op volume,
+                # so it would add constant noise, not per-op overhead.
+                obs_sample_interval_ms=0.0,
+                **scale.engine_overrides(),
+            )
+        )
+
+    chunk_size = 512
+    ingest_chunks = [
+        ingest_ops[i:i + chunk_size]
+        for i in range(0, len(ingest_ops), chunk_size)
+    ]
+    read_chunks = [
+        lookups[i:i + chunk_size]
+        for i in range(0, len(lookups), chunk_size)
+    ]
+    repeats = max(1, repeats)
+
+    def lockstep_run(replay: int) -> tuple[list[float], list[float], list[float], list[float]]:
+        """One paired replay; per-chunk wall times for each mode.
+
+        ``replay`` rotates which mode a chunk times first: compactions
+        trigger at deterministic op counts, so a cascade always lands in
+        the same chunk index — without rotation that chunk would always
+        measure the same mode cache-cold.
+        """
+        engines = {False: build(False), True: build(True)}
+        chunk_walls: dict[bool, list[float]] = {False: [], True: []}
+        read_walls: dict[bool, list[float]] = {False: [], True: []}
+        for index, chunk in enumerate(ingest_chunks):
+            order = (
+                (False, True) if (index + replay) % 2 == 0 else (True, False)
+            )
+            walls = {}
+            for mode in order:
+                started = time.perf_counter()
+                engines[mode].ingest(chunk)
+                walls[mode] = time.perf_counter() - started
+            for mode in (False, True):
+                chunk_walls[mode].append(walls[mode])
+        for mode in (False, True):
+            engines[mode].flush()
+        # Read passes pair the same way; 3 passes per replay so the
+        # first (cache-warming) pass never decides a chunk's minimum.
+        reads: dict[bool, list[list[float]]] = {False: [], True: []}
+        for sweep in range(3):
+            pass_walls: dict[bool, list[float]] = {False: [], True: []}
+            for index, chunk in enumerate(read_chunks):
+                order = (
+                    (False, True)
+                    if (index + sweep + replay) % 2 == 0
+                    else (True, False)
+                )
+                walls = {}
+                for mode in order:
+                    engine = engines[mode]
+                    started = time.perf_counter()
+                    for op in chunk:
+                        engine.get(op[1])
+                    walls[mode] = time.perf_counter() - started
+                for mode in (False, True):
+                    pass_walls[mode].append(walls[mode])
+            for mode in (False, True):
+                reads[mode].append(pass_walls[mode])
+        for mode in (False, True):
+            read_walls[mode] = [
+                min(per_pass[i] for per_pass in reads[mode])
+                for i in range(len(read_chunks))
+            ]
+            engines[mode].close()
+        return (
+            chunk_walls[False], chunk_walls[True],
+            read_walls[False], read_walls[True],
+        )
+
+    # GC pauses land on whichever chunk happens to be on the clock;
+    # measure with collection off (one manual collect between replays).
+    import gc
+
+    runs = []
+    gc_was_enabled = gc.isenabled()
+    try:
+        for replay in range(repeats):
+            gc.collect()
+            gc.disable()
+            try:
+                runs.append(lockstep_run(replay))
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+
+    def best_total(which: int) -> float:
+        n_chunks = len(runs[0][which])
+        return sum(
+            min(run[which][i] for run in runs) for i in range(n_chunks)
+        )
+
+    best = {
+        False: (best_total(0), best_total(2)),
+        True: (best_total(1), best_total(3)),
+    }
+    ingest_overhead = best[True][0] / best[False][0] - 1.0
+    read_overhead = best[True][1] / best[False][1] - 1.0
+
+    # --- Part B: what the layer captures (one instrumented engine) -----
+    if not force_enabled():
+        # Leave any --trace ring alone; otherwise start from a clean one
+        # so the span counts below describe exactly this run.
+        reset_global_tracer()
+    engine = build(True)
+    engine.ingest(ingest_ops)
+    engine.flush()
+    for op in lookups:
+        engine.get(op[1])
+    write_pcts = engine.obs.op_write_latency.percentiles()
+    read_pcts = engine.obs.op_read_latency.percentiles()
+    span_counts: dict[str, int] = {}
+    for event in global_tracer().events():
+        span_counts[event["name"]] = span_counts.get(event["name"], 0) + 1
+    exposition = prometheus_exposition(engine.obs.registry)
+    parsed = parse_exposition(exposition)
+    engine.close()
+
+    series = {
+        "repeats": max(1, repeats),
+        "ingest_wall_off_s": best[False][0],
+        "ingest_wall_on_s": best[True][0],
+        "ingest_overhead": ingest_overhead,
+        "read_wall_off_s": best[False][1],
+        "read_wall_on_s": best[True][1],
+        "read_overhead": read_overhead,
+        "write_latency_percentiles_s": write_pcts,
+        "read_latency_percentiles_s": read_pcts,
+        "span_counts": dict(sorted(span_counts.items())),
+        "exposition_samples": len(parsed),
+    }
+    overhead_rows = [
+        ["ingest", f"{best[False][0]:.3f}", f"{best[True][0]:.3f}",
+         f"{ingest_overhead:+.2%}"],
+        ["read", f"{best[False][1]:.3f}", f"{best[True][1]:.3f}",
+         f"{read_overhead:+.2%}"],
+    ]
+    forced_note = ""
+    if force_enabled():
+        # Under --trace the process-wide override instruments the
+        # "off" engines too, so the A/B collapses to on-vs-on.
+        forced_note = (
+            "\n\nNOTE: --trace force-enables observability process-wide; "
+            "the off/on comparison above is on-vs-on and the overhead "
+            "numbers are void. Re-run without --trace to measure."
+        )
+        series["overhead_void_forced"] = True
+    report = (
+        format_table(
+            ["path", "off s (best)", "on s (best)", "overhead"],
+            overhead_rows,
+            title=(
+                f"Observability overhead, best of {max(1, repeats)} "
+                f"interleaved runs ({len(ingest_ops)} ingest ops, "
+                f"{len(lookups)} lookups)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["histogram", "count", "p50", "p99", "p999"],
+            [
+                ["op_write_latency_seconds", len(ingest_ops),
+                 f"{write_pcts['p50'] * 1e6:.1f}µs",
+                 f"{write_pcts['p99'] * 1e6:.1f}µs",
+                 f"{write_pcts['p999'] * 1e6:.1f}µs"],
+                ["op_read_latency_seconds", len(lookups),
+                 f"{read_pcts['p50'] * 1e6:.1f}µs",
+                 f"{read_pcts['p99'] * 1e6:.1f}µs",
+                 f"{read_pcts['p999'] * 1e6:.1f}µs"],
+            ],
+            title="Op-latency histograms (instrumented run)",
+        )
+        + "\n\nspans: "
+        + ", ".join(f"{name}×{n}" for name, n in sorted(span_counts.items()))
+        + f"\nexposition: {len(parsed)} parseable samples"
+        + forced_note
+    )
+    return ExperimentResult(figure="metrics", series=series, report=report)

@@ -7,7 +7,8 @@ who wins, by what factor, and where the crossovers fall.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+import json
+from typing import Any, Iterable, Mapping, Sequence
 
 
 def format_table(
@@ -45,6 +46,32 @@ def _fmt(value: Any) -> str:
             return f"{value:.3g}"
         return f"{value:.3f}".rstrip("0").rstrip(".")
     return str(value)
+
+
+def write_experiment_json(
+    path: str,
+    figure: str,
+    series: Mapping[str, Any],
+    elapsed_seconds: float | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict:
+    """Dump one experiment's series to ``path`` in the shared layout.
+
+    Every ``--json`` dump from the CLI goes through here so the files
+    stay mutually diffable: top-level ``figure``/``elapsed_seconds``/
+    ``series`` keys, sorted, two-space indent, trailing newline.
+    ``extra`` merges additional top-level keys (e.g. an overhead gate's
+    threshold) without disturbing that contract. Returns the payload.
+    """
+    payload: dict = {"figure": figure, "series": dict(series)}
+    if elapsed_seconds is not None:
+        payload["elapsed_seconds"] = round(elapsed_seconds, 3)
+    if extra:
+        payload.update(extra)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return payload
 
 
 def ratio_summary(label: str, lethe_value: float, baseline_value: float) -> str:

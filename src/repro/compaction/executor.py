@@ -39,6 +39,7 @@ from repro.lsm.iterator import merge_for_compaction
 from repro.lsm.manifest import Manifest
 from repro.lsm.runfile import RunFile
 from repro.lsm.tree import LSMTree
+from repro.obs import NULL_OBS
 from repro.storage.disk import SimulatedDisk
 from repro.storage.entry import RangeTombstone
 
@@ -81,12 +82,14 @@ class CompactionExecutor:
         stats: Statistics,
         manifest: Manifest,
         on_tombstone_persisted: TombstoneCallback | None = None,
+        obs=None,
     ):
         self.config = config
         self.disk = disk
         self.stats = stats
         self.manifest = manifest
         self.on_tombstone_persisted = on_tombstone_persisted
+        self.obs = obs if obs is not None else NULL_OBS
 
     # ------------------------------------------------------------------
     # Entry points
@@ -135,12 +138,17 @@ class CompactionExecutor:
         ]
         extra_cover = self._upper_level_cover(tree, task, participants)
 
-        outcome = merge_for_compaction(
-            streams,
-            range_tombstones,
-            into_last_level=into_last_level,
-            extra_cover_tombstones=extra_cover,
-        )
+        with self.obs.tracer.span(
+            "compaction:merge",
+            level=task.source_level,
+            inputs=len(participants),
+        ):
+            outcome = merge_for_compaction(
+                streams,
+                range_tombstones,
+                into_last_level=into_last_level,
+                extra_cover_tombstones=extra_cover,
+            )
 
         # --- I/O and byte accounting -----------------------------------
         pages_in = sum(f.num_pages for f in participants)
@@ -151,15 +159,20 @@ class CompactionExecutor:
             compaction_entries_in=sum(f.meta.num_entries for f in participants),
         )
 
-        output_files = build_run(
-            outcome.entries,
-            outcome.range_tombstones,
-            config=self.config,
-            disk=self.disk,
-            stats=self.stats,
-            now=now,
+        with self.obs.tracer.span(
+            "compaction:materialize",
             level=task.target_level,
-        )
+            entries=len(outcome.entries),
+        ):
+            output_files = build_run(
+                outcome.entries,
+                outcome.range_tombstones,
+                config=self.config,
+                disk=self.disk,
+                stats=self.stats,
+                now=now,
+                level=task.target_level,
+            )
         pages_out = sum(f.num_pages for f in output_files)
         bytes_out = sum(f.size_bytes for f in output_files)
         self.disk.charge_write(pages_out)
@@ -186,25 +199,30 @@ class CompactionExecutor:
         now: float,
     ) -> list[RunFile]:
         """Phase 2: swap the tree layout and log the manifest edits."""
-        self.manifest.begin_version()
-        if prepared.trivial:
-            return self._trivial_move(tree, task, now)
+        with self.obs.tracer.span(
+            "compaction:install",
+            level=task.source_level,
+            trivial=prepared.trivial,
+        ):
+            self.manifest.begin_version()
+            if prepared.trivial:
+                return self._trivial_move(tree, task, now)
 
-        if self.on_tombstone_persisted is not None:
-            for tombstone in prepared.dropped_tombstones:
-                self.on_tombstone_persisted(tombstone)
-            for rt in prepared.dropped_range_tombstones:
-                self.on_tombstone_persisted(rt)
+            if self.on_tombstone_persisted is not None:
+                for tombstone in prepared.dropped_tombstones:
+                    self.on_tombstone_persisted(tombstone)
+                for rt in prepared.dropped_range_tombstones:
+                    self.on_tombstone_persisted(rt)
 
-        self._install(
-            tree,
-            task,
-            prepared.victims,
-            prepared.output_files,
-            prepared.source_peer_ids,
-        )
-        self._account_trigger(task)
-        return prepared.output_files
+            self._install(
+                tree,
+                task,
+                prepared.victims,
+                prepared.output_files,
+                prepared.source_peer_ids,
+            )
+            self._account_trigger(task)
+            return prepared.output_files
 
     # ------------------------------------------------------------------
     # Pieces

@@ -285,21 +285,27 @@ class BackgroundScheduler(CompactionScheduler):
         if stall_at > 0 and pending >= stall_at:
             started = time.perf_counter()
             priority = fade_priority(engine)
-            with self._cv:
-                self._enqueue_locked(slot, priority)
-                while (
-                    not self._closed
-                    and slot.error is None
-                    and engine._pending_l1_runs() >= stall_at
-                ):
-                    self._cv.wait(timeout=0.02)
-                    if not self._heap and not self._active and not slot.queued:
-                        # The scheduler went idle with the backlog still
-                        # above the threshold: the policy has no task
-                        # that could shrink Level 1 (e.g. the stall
-                        # threshold sits below the merge trigger), so
-                        # stalling further would hang the writer forever.
-                        break
+            with engine.obs.tracer.span("write-stall", l1_runs=pending):
+                with self._cv:
+                    self._enqueue_locked(slot, priority)
+                    while (
+                        not self._closed
+                        and slot.error is None
+                        and engine._pending_l1_runs() >= stall_at
+                    ):
+                        self._cv.wait(timeout=0.02)
+                        if (
+                            not self._heap
+                            and not self._active
+                            and not slot.queued
+                        ):
+                            # The scheduler went idle with the backlog
+                            # still above the threshold: the policy has
+                            # no task that could shrink Level 1 (e.g.
+                            # the stall threshold sits below the merge
+                            # trigger), so stalling further would hang
+                            # the writer forever.
+                            break
             engine.stats.add(
                 write_stalls=1, stall_seconds=time.perf_counter() - started
             )
@@ -307,9 +313,10 @@ class BackgroundScheduler(CompactionScheduler):
         elif slow_at > 0 and pending >= slow_at:
             engine.stats.add(write_slowdowns=1)
             priority = fade_priority(engine)
-            with self._cv:
-                self._enqueue_locked(slot, priority)
-            time.sleep(config.write_slowdown_seconds)
+            with engine.obs.tracer.span("write-slowdown", l1_runs=pending):
+                with self._cv:
+                    self._enqueue_locked(slot, priority)
+                time.sleep(config.write_slowdown_seconds)
 
     def drain(self) -> None:
         """Barrier: wait until the queue is empty and all workers idle."""

@@ -188,6 +188,16 @@ class EngineConfig:
         hard stall.
     write_slowdown_seconds:
         Real (wall-clock) delay per write while in the slowdown band.
+    observability:
+        Turn on the :mod:`repro.obs` instrumentation layer: per-op
+        write/read latency histograms, span tracing of flushes,
+        compactions, group-commit drains, stalls and recovery phases,
+        and the background metrics sampler. Off (default) the
+        instrumented paths pay one flag check per operation.
+    obs_sample_interval_ms:
+        Wall-clock period of the background sampler's time-series
+        snapshots (only consulted when ``observability`` is on; 0
+        disables the sampler while keeping histograms and tracing).
     """
 
     size_ratio: int = 10
@@ -219,6 +229,8 @@ class EngineConfig:
     slowdown_l1_runs: int = 8
     stall_l1_runs: int = 16
     write_slowdown_seconds: float = 0.001
+    observability: bool = False
+    obs_sample_interval_ms: float = 25.0
 
     def __post_init__(self) -> None:
         if self.size_ratio < 2:
@@ -285,6 +297,11 @@ class EngineConfig:
             raise ConfigError(
                 f"write_slowdown_seconds must be >= 0, "
                 f"got {self.write_slowdown_seconds}"
+            )
+        if self.obs_sample_interval_ms < 0:
+            raise ConfigError(
+                f"obs_sample_interval_ms must be >= 0, "
+                f"got {self.obs_sample_interval_ms}"
             )
         try:
             self.commit_policy

@@ -16,6 +16,8 @@ paper's ingestion-driven notion of time.
 from __future__ import annotations
 
 import threading
+import time
+from time import perf_counter as _perf_counter
 from contextlib import contextmanager
 from typing import Any, Iterable, Iterator
 
@@ -46,6 +48,7 @@ from repro.lsm.builder import build_run
 from repro.lsm.manifest import Manifest
 from repro.lsm.tree import LSMTree
 from repro.lsm.wal import WriteAheadLog
+from repro.obs import Observability
 from repro.storage.buffer import MemoryBuffer
 from repro.storage.cache import LRUPageCache
 from repro.storage.disk import SimulatedDisk
@@ -94,6 +97,8 @@ class LSMEngine:
     ):
         self.config = config
         self.stats = Statistics()
+        self.obs = Observability.from_config(config)
+        self.obs.registry.attach_stats("engine", self.stats)
         self.clock = clock or SimulatedClock(config.ingestion_rate)
         cache = LRUPageCache(config.cache_pages) if config.cache_pages else None
         self.cache = cache
@@ -106,6 +111,7 @@ class LSMEngine:
         self.manifest = Manifest()
         self._store = store
         self.wal = WriteAheadLog(sink=store)
+        self.wal.obs = self.obs
         if store is not None:
             store.attach(self)
         self._key_bounds: tuple[Any, Any] | None = None
@@ -135,6 +141,7 @@ class LSMEngine:
             stats=self.stats,
             manifest=self.manifest,
             on_tombstone_persisted=self._on_tombstone_persisted,
+            obs=self.obs,
         )
         # Close the scheduler only if this engine built it (a string or
         # None spec); a caller-supplied instance may be shared with
@@ -143,6 +150,7 @@ class LSMEngine:
         self._owns_scheduler = not isinstance(scheduler, CompactionScheduler)
         self.scheduler = make_scheduler(scheduler)
         self.scheduler.register(self)
+        self.obs.start_sampler(self._obs_sample)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -216,6 +224,16 @@ class LSMEngine:
 
     def put(self, key: Any, value: Any = None, delete_key: Any = None) -> None:
         """Insert or update ``key``; ``delete_key`` is the secondary key D."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._put_impl(key, value, delete_key)
+        started = _perf_counter()
+        try:
+            return self._put_impl(key, value, delete_key)
+        finally:
+            obs.op_write_latency.record(_perf_counter() - started)
+
+    def _put_impl(self, key: Any, value: Any, delete_key: Any) -> None:
         self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
@@ -246,6 +264,16 @@ class LSMEngine:
         tombstone because no filter in the tree could contain the key
         (§4.1.5 "Blind Deletes").
         """
+        obs = self.obs
+        if not obs.enabled:
+            return self._delete_impl(key)
+        started = _perf_counter()
+        try:
+            return self._delete_impl(key)
+        finally:
+            obs.op_write_latency.record(_perf_counter() - started)
+
+    def _delete_impl(self, key: Any) -> bool:
         self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
@@ -278,6 +306,16 @@ class LSMEngine:
 
     def range_delete(self, start: Any, end: Any) -> None:
         """Range delete on the *sort* key: ``[start, end)`` (§3.1.1)."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._range_delete_impl(start, end)
+        started = _perf_counter()
+        try:
+            return self._range_delete_impl(start, end)
+        finally:
+            obs.op_write_latency.record(_perf_counter() - started)
+
+    def _range_delete_impl(self, start: Any, end: Any) -> None:
         self.scheduler.throttle(self)
         self.clock.tick()
         now = self.clock.now
@@ -426,6 +464,16 @@ class LSMEngine:
 
     def get(self, key: Any) -> Any:
         """Point lookup: the most recent live value, or ``None``."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._get_impl(key)
+        started = _perf_counter()
+        try:
+            return self._get_impl(key)
+        finally:
+            obs.op_read_latency.record(_perf_counter() - started)
+
+    def _get_impl(self, key: Any) -> Any:
         self.stats.point_lookups += 1
         entry = self._lookup_entry(key)
         if entry is None or entry.is_tombstone:
@@ -448,6 +496,16 @@ class LSMEngine:
 
     def scan(self, lo: Any, hi: Any) -> list[tuple[Any, Any]]:
         """Range lookup on the sort key: live (key, value) pairs in order."""
+        obs = self.obs
+        if not obs.enabled:
+            return self._scan_impl(lo, hi)
+        started = _perf_counter()
+        try:
+            return self._scan_impl(lo, hi)
+        finally:
+            obs.op_read_latency.record(_perf_counter() - started)
+
+    def _scan_impl(self, lo: Any, hi: Any) -> list[tuple[Any, Any]]:
         self.stats.range_lookups += 1
         buffered = self.buffer.scan(lo, hi)
         entries = self.tree.scan(
@@ -536,6 +594,10 @@ class LSMEngine:
         """
         if self.buffer.is_empty:
             return False
+        with self.obs.tracer.span("flush", entries=len(self.buffer)):
+            return self._flush_buffer_impl()
+
+    def _flush_buffer_impl(self) -> bool:
         self.scheduler.barrier(self)
         now = self.clock.now
         # begin_flush keeps the drained snapshot readable until the run
@@ -688,12 +750,21 @@ class LSMEngine:
                     )
             if task is None:
                 return False
-            prepared = self.executor.prepare(
-                self.tree, task, now, source_peer_ids=peers
-            )
-            with self._commit_lock:
-                self.executor.install_prepared(self.tree, task, prepared, now)
-                self._commit("compaction")
+            with self.obs.tracer.span(
+                "compaction",
+                level=task.source_level,
+                target=task.target_level,
+                trigger=task.trigger.value,
+                files=len(task.source_files),
+            ):
+                prepared = self.executor.prepare(
+                    self.tree, task, now, source_peer_ids=peers
+                )
+                with self._commit_lock:
+                    self.executor.install_prepared(
+                        self.tree, task, prepared, now
+                    )
+                    self._commit("compaction")
         return True
 
     def run_pending_compactions(self) -> int:
@@ -869,6 +940,7 @@ class LSMEngine:
         models a crash: whatever the commit policy had not yet drained
         is lost, which is exactly the trade-off the policy spec names.
         """
+        self.obs.close()
         self.scheduler.drain()
         if self._store is not None:
             self._store.close()
@@ -913,6 +985,29 @@ class LSMEngine:
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
+
+    def _obs_sample(self) -> dict:
+        """One background-sampler snapshot of live engine pressure.
+
+        Runs on the sampler thread: reads only atomically swapped or
+        monotonically growing state (tree views, stats counters, WAL
+        segment list), so no engine lock is taken.
+        """
+        stats = self.stats
+        cache_probes = stats.cache_hits + stats.cache_misses
+        return {
+            "l1_pending_runs": self._pending_l1_runs(),
+            "buffer_fill": len(self.buffer) / max(1, self.buffer.capacity_entries),
+            "entries_ingested": stats.entries_ingested,
+            "write_slowdowns": stats.write_slowdowns,
+            "write_stalls": stats.write_stalls,
+            "stall_seconds": stats.stall_seconds,
+            "cache_hit_rate": (
+                stats.cache_hits / cache_probes if cache_probes else 0.0
+            ),
+            "wal_live_records": self.wal.live_records,
+            "background_compactions": stats.background_compactions,
+        }
 
     def space_amplification(self) -> float:
         """Current ``samp`` over tree plus buffer (§3.2.1)."""

@@ -235,49 +235,56 @@ class Statistics:
         return self.bloom_hash_computations * hash_seconds
 
     def snapshot(self) -> dict:
-        """A plain-dict copy of all scalar counters (for bench reporting)."""
-        return {
-            name: getattr(self, name)
-            for name in (
-                "entries_ingested",
-                "point_tombstones_ingested",
-                "range_tombstones_ingested",
-                "blind_deletes_skipped",
-                "buffer_flushes",
-                "compactions",
-                "ttl_triggered_compactions",
-                "saturation_triggered_compactions",
-                "full_tree_compactions",
-                "compaction_bytes_read",
-                "compaction_bytes_written",
-                "compaction_entries_in",
-                "compaction_entries_out",
-                "tombstones_dropped",
-                "invalid_entries_purged",
-                "pages_read",
-                "pages_written",
-                "pages_dropped_full",
-                "pages_dropped_partial",
-                "bytes_flushed",
-                "cache_hits",
-                "cache_misses",
-                "point_lookups",
-                "zero_result_lookups",
-                "range_lookups",
-                "secondary_range_lookups",
-                "bloom_probes",
-                "bloom_hash_computations",
-                "bloom_false_positives",
-                "lookup_pages_read",
-                "secondary_range_deletes",
-                "srd_pages_read",
-                "srd_pages_written",
-                "background_compactions",
-                "write_slowdowns",
-                "write_stalls",
-                "stall_seconds",
-            )
-        }
+        """A plain-dict copy of all scalar counters (for bench reporting).
+
+        Taken under the internal lock: a snapshot racing a background
+        worker's :meth:`add` must reflect one moment, never a mix of the
+        counters before and after the worker's atomic bump (the
+        reporting paths compare counters against each other).
+        """
+        with self._lock:
+            return {
+                name: getattr(self, name)
+                for name in (
+                    "entries_ingested",
+                    "point_tombstones_ingested",
+                    "range_tombstones_ingested",
+                    "blind_deletes_skipped",
+                    "buffer_flushes",
+                    "compactions",
+                    "ttl_triggered_compactions",
+                    "saturation_triggered_compactions",
+                    "full_tree_compactions",
+                    "compaction_bytes_read",
+                    "compaction_bytes_written",
+                    "compaction_entries_in",
+                    "compaction_entries_out",
+                    "tombstones_dropped",
+                    "invalid_entries_purged",
+                    "pages_read",
+                    "pages_written",
+                    "pages_dropped_full",
+                    "pages_dropped_partial",
+                    "bytes_flushed",
+                    "cache_hits",
+                    "cache_misses",
+                    "point_lookups",
+                    "zero_result_lookups",
+                    "range_lookups",
+                    "secondary_range_lookups",
+                    "bloom_probes",
+                    "bloom_hash_computations",
+                    "bloom_false_positives",
+                    "lookup_pages_read",
+                    "secondary_range_deletes",
+                    "srd_pages_read",
+                    "srd_pages_written",
+                    "background_compactions",
+                    "write_slowdowns",
+                    "write_stalls",
+                    "stall_seconds",
+                )
+            }
 
     def reset_read_counters(self) -> None:
         """Zero the read-path counters (used between load and query phases)."""

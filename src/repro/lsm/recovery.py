@@ -126,10 +126,18 @@ def recover_engine(
     watermark = manifest["watermark"] if manifest else -1
     pending_srds = list(manifest["pending_srds"]) if manifest else []
 
-    max_file_number = _rebuild_tree(engine, store, layout, info)
-    _rebuild_manifest(engine)
-    _restore_wal(engine, state, watermark)
-    info.wal_records_replayed = _replay_wal(engine, watermark, pending_srds)
+    tracer = engine.obs.tracer
+    with tracer.span("recovery:rebuild-tree", files=len(layout)):
+        max_file_number = _rebuild_tree(engine, store, layout, info)
+        _rebuild_manifest(engine)
+    with tracer.span(
+        "recovery:replay-wal", segments=len(state.wal_segments)
+    ) as span:
+        _restore_wal(engine, state, watermark)
+        info.wal_records_replayed = _replay_wal(
+            engine, watermark, pending_srds
+        )
+        span.set(records=info.wal_records_replayed)
 
     # Sequence numbers: past everything ever handed out, wherever recorded.
     next_seq = manifest["next_seq"] if manifest else 0
@@ -176,16 +184,19 @@ def recover_engine(
     # they only serve WAL-replay interleaving until the watermark passes.
     for srd in sorted(pending_srds, key=lambda entry: entry["seq"]):
         if not srd["done"]:
-            engine._apply_secondary_range_delete(
-                srd["d_lo"], srd["d_hi"], engine.clock.now, srd_seq=srd["seq"]
-            )
+            with tracer.span("recovery:srd-rollforward", seq=srd["seq"]):
+                engine._apply_secondary_range_delete(
+                    srd["d_lo"], srd["d_hi"], engine.clock.now,
+                    srd_seq=srd["seq"],
+                )
 
     # §4.1.5 across restarts: the recovered WAL must re-satisfy the D_th
     # invariant at the recovered clock before the engine serves traffic —
     # over-age tombstones in the replayed buffer tail force a flush (the
     # buffer's d_0 allowance), then the WAL routine drops or copies the
     # log segments themselves.
-    engine.enforce_delete_persistence()
+    with tracer.span("recovery:enforce-dth"):
+        engine.enforce_delete_persistence()
 
     if scheduler is not None:
         from repro.compaction.scheduler import (  # local: cycle

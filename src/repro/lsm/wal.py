@@ -26,6 +26,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any
 
 from repro.core.errors import WALError
+from repro.obs import NULL_OBS
 
 _POLICY_PATTERN = re.compile(
     r"^(?:(every_op|unsafe_none)|(group)\((\d+)\)"
@@ -172,6 +173,9 @@ class WriteAheadLog:
             raise WALError(f"segment capacity must be >= 1, got {segment_capacity}")
         self.segment_capacity = segment_capacity
         self.sink = sink
+        # The owning engine rebinds this to its bundle; a bare WAL keeps
+        # the shared disabled one.
+        self.obs = NULL_OBS
         self._segments: list[WALSegment] = []
         self._next_segment_id = 0
         self._flushed_seqnum = -1
@@ -275,23 +279,35 @@ class WriteAheadLog:
         over_age = [s for s in self._segments if now - s.opened_at > d_th]
         if not over_age:
             return 0
-        fresh = WALSegment(self._next_segment_id, opened_at=now)
-        self._next_segment_id += 1
-        for segment in over_age:
-            for record in segment.records:
-                if record.seqnum > self._flushed_seqnum:
-                    fresh.records.append(record)
-                    self.records_rewritten += 1
-        keep = [s for s in self._segments if now - s.opened_at <= d_th]
-        if fresh.records:
-            keep.append(fresh)
-        self._segments = keep
-        self.segments_purged += len(over_age)
-        if self.sink is not None:
-            self.sink.wal_rewrite(
-                fresh if fresh.records else None,
-                [s.segment_id for s in over_age],
-            )
+        with self.obs.tracer.span(
+            "wal-rewrite", segments=len(over_age)
+        ) as span:
+            fresh = WALSegment(self._next_segment_id, opened_at=now)
+            self._next_segment_id += 1
+            for segment in over_age:
+                for record in segment.records:
+                    if record.seqnum > self._flushed_seqnum:
+                        fresh.records.append(record)
+                        self.records_rewritten += 1
+            keep = [s for s in self._segments if now - s.opened_at <= d_th]
+            if fresh.records:
+                keep.append(fresh)
+            self._segments = keep
+            self.segments_purged += len(over_age)
+            span.set(records_copied=len(fresh.records))
+            if self.obs.enabled:
+                registry = self.obs.registry
+                registry.counter("wal_dth_segments_rewritten").inc(
+                    len(over_age)
+                )
+                registry.counter("wal_dth_records_copied").inc(
+                    len(fresh.records)
+                )
+            if self.sink is not None:
+                self.sink.wal_rewrite(
+                    fresh if fresh.records else None,
+                    [s.segment_id for s in over_age],
+                )
         return len(over_age)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,116 @@
+"""Export surfaces for the observability layer.
+
+Two formats, one registry:
+
+* :func:`prometheus_exposition` — the Prometheus text exposition format
+  (version 0.0.4): counters and gauges as single samples, histograms as
+  summaries with ``quantile`` labels plus ``_count``/``_sum``, attached
+  :class:`~repro.core.stats.Statistics` counters flattened under their
+  registry name. Scrape-ready, and trivially parseable by the CI smoke
+  check.
+* :func:`registry_json` — the same snapshot as one JSON document (with
+  full bucket arrays), for dashboards and offline diffing.
+
+Chrome trace export lives on the tracer itself
+(:meth:`repro.obs.trace.SpanTracer.write_chrome_trace`);
+:func:`write_chrome_trace` here is the convenience wrapper over the
+process-global tracer that the ``--trace`` CLI flag uses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTracer, global_tracer
+
+_NAME_SANITIZER = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(*parts: str) -> str:
+    """A legal Prometheus metric name from dotted/freeform parts."""
+    return _NAME_SANITIZER.sub("_", "_".join(p for p in parts if p))
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, (int, float)):
+        return repr(float(value)) if isinstance(value, float) else str(value)
+    return "0"
+
+
+def prometheus_exposition(
+    registry: MetricsRegistry, prefix: str = "lethe"
+) -> str:
+    """Render the registry as Prometheus text exposition format."""
+    snapshot = registry.collect()
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot["counters"].items()):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(snapshot["gauges"].items()):
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, summary in sorted(snapshot["histograms"].items()):
+        metric = _metric_name(prefix, name)
+        lines.append(f"# TYPE {metric} summary")
+        for label, quantile in (
+            ("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99"), ("0.999", "p999")
+        ):
+            lines.append(
+                f'{metric}{{quantile="{label}"}} '
+                f"{_format_value(summary[quantile])}"
+            )
+        lines.append(f"{metric}_count {summary['count']}")
+        lines.append(f"{metric}_sum {_format_value(summary['sum'])}")
+
+    for registry_name, counters in sorted(snapshot["stats"].items()):
+        for name, value in sorted(counters.items()):
+            metric = _metric_name(prefix, registry_name, name)
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(value)}")
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_exposition(text: str) -> dict:
+    """Parse exposition text back to ``{metric_or_labeled_sample: value}``.
+
+    Deliberately minimal — it exists so tests and the CI smoke step can
+    assert the exposition round-trips without a Prometheus client.
+    """
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, _, value = line.rpartition(" ")
+        samples[name] = float(value)
+    return samples
+
+
+def registry_json(registry: MetricsRegistry, sampler=None) -> dict:
+    """The registry snapshot (plus sampler series, if given) as a dict."""
+    payload = registry.collect()
+    if sampler is not None:
+        payload["samples"] = sampler.samples()
+        payload["sample_errors"] = sampler.sample_errors
+    return payload
+
+
+def write_chrome_trace(path: str, tracer: SpanTracer | None = None) -> int:
+    """Dump the (global, by default) tracer's spans to ``path``.
+
+    Returns the number of span events written.
+    """
+    if tracer is None:
+        tracer = global_tracer()
+    return tracer.write_chrome_trace(path)

@@ -1,0 +1,286 @@
+"""Mergeable log-bucketed histograms and the metrics registry.
+
+The engine's :class:`~repro.core.stats.Statistics` counters answer "how
+much work happened"; they cannot answer "how was that work distributed".
+This module adds the distribution half of the story:
+
+* :class:`LatencyHistogram` — a fixed-layout, power-of-two-bucketed
+  histogram. The bucket layout is identical for every instance, which is
+  what makes histograms *mergeable*: summing the bucket arrays of four
+  shards yields exactly the histogram the pooled op stream would have
+  produced (the same contract :meth:`Statistics.merge` gives scalar
+  counters). Recording is one integer ``bit_length`` plus a handful of
+  updates under a short lock — cheap enough for the per-operation write
+  path when observability is on, and never touched when it is off.
+* :class:`MetricsRegistry` — a named collection of counters, gauges and
+  histograms, layered over existing :class:`Statistics` registries so
+  one :meth:`MetricsRegistry.collect` call yields every number the
+  engine knows about (exported by :mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable
+
+
+class LatencyHistogram:
+    """Log₂-bucketed histogram with fixed, instance-independent buckets.
+
+    Values are scaled by ``resolution`` (default ``1e9``: seconds in,
+    nanosecond buckets) and land in bucket ``i`` iff the scaled integer
+    value has ``i`` significant bits — bucket 0 holds zero, bucket ``i``
+    holds ``[2^(i-1), 2^i)``. 64 buckets cover nine decades above the
+    resolution, so one layout serves sub-microsecond op latencies and
+    multi-second recovery phases alike. Quantiles are resolved to a
+    bucket's upper bound: pessimistic by at most 2x, deterministic, and
+    stable under :meth:`merge`.
+
+    Pass ``resolution=1`` to histogram plain counts (batch sizes, queue
+    depths) instead of latencies.
+    """
+
+    BUCKET_COUNT = 64
+    _QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p99", 0.99), ("p999", 0.999))
+
+    __slots__ = ("name", "resolution", "_lock", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str = "", resolution: float = 1e9):
+        self.name = name
+        self.resolution = resolution
+        self._lock = threading.Lock()
+        self._counts = [0] * self.BUCKET_COUNT
+        self._count = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+
+    # ------------------------------------------------------------------
+    # Recording (the hot path)
+    # ------------------------------------------------------------------
+
+    def bucket_index(self, value: float) -> int:
+        """The bucket a value falls in (also the test surface for the
+        boundary contract)."""
+        scaled = int(value * self.resolution)
+        if scaled <= 0:
+            return 0
+        index = scaled.bit_length()
+        return index if index < self.BUCKET_COUNT else self.BUCKET_COUNT - 1
+
+    def record(self, value: float) -> None:
+        """Record one observation (in the unit ``resolution`` scales)."""
+        # bucket_index(), inlined: this runs once per engine operation
+        # when observability is on, so it skips the method call.
+        scaled = int(value * self.resolution)
+        index = scaled.bit_length() if scaled > 0 else 0
+        if index >= self.BUCKET_COUNT:
+            index = self.BUCKET_COUNT - 1
+        with self._lock:
+            self._counts[index] += 1
+            self._count += 1
+            self._sum += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    # ------------------------------------------------------------------
+    # Aggregation
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` into this histogram, in place; returns ``self``.
+
+        Bucket layouts are identical by construction, so merging shard
+        histograms is exact: the merged bucket array equals the one a
+        single histogram fed the pooled op stream would hold. Locks are
+        taken sequentially (snapshot ``other``, then update ``self``),
+        never nested, so concurrent cross-merges cannot deadlock.
+        """
+        if other.resolution != self.resolution:
+            raise ValueError(
+                f"cannot merge histograms of different resolutions "
+                f"({self.resolution} vs {other.resolution})"
+            )
+        with other._lock:
+            counts = list(other._counts)
+            count, total = other._count, other._sum
+            low, high = other._min, other._max
+        with self._lock:
+            for index, bucket in enumerate(counts):
+                self._counts[index] += bucket
+            self._count += count
+            self._sum += total
+            if low < self._min:
+                self._min = low
+            if high > self._max:
+                self._max = high
+        return self
+
+    @classmethod
+    def combined(
+        cls,
+        parts: Iterable["LatencyHistogram"],
+        name: str = "",
+        resolution: float | None = None,
+    ) -> "LatencyHistogram":
+        """A fresh histogram holding the sum of ``parts`` (none mutated)."""
+        parts = list(parts)
+        if resolution is None:
+            resolution = parts[0].resolution if parts else 1e9
+        total = cls(name=name, resolution=resolution)
+        for part in parts:
+            total.merge(part)
+        return total
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def bucket_upper_bound(self, index: int) -> float:
+        """Exclusive upper bound of bucket ``index``, in recorded units."""
+        if index <= 0:
+            return 1.0 / self.resolution
+        return float(2**index) / self.resolution
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def quantile(self, q: float) -> float:
+        """The value at quantile ``q`` (resolved to a bucket upper bound)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must lie in [0, 1], got {q}")
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            high = self._max
+        if count == 0:
+            return 0.0
+        rank = max(1, int(q * count + 0.9999999))
+        seen = 0
+        for index, bucket in enumerate(counts):
+            seen += bucket
+            if seen >= rank:
+                return min(self.bucket_upper_bound(index), high) if index else 0.0
+        return high  # pragma: no cover - rank <= count always hits a bucket
+
+    def percentiles(self) -> dict:
+        """The standard latency summary: p50/p90/p99/p999."""
+        return {label: self.quantile(q) for label, q in self._QUANTILES}
+
+    def snapshot(self) -> dict:
+        """JSON-safe summary: count, sum, min/max, quantiles, buckets."""
+        with self._lock:
+            count = self._count
+            counts = list(self._counts)
+            total, low, high = self._sum, self._min, self._max
+        summary = {
+            "count": count,
+            "sum": total,
+            "min": 0.0 if count == 0 else low,
+            "max": high,
+            "mean": (total / count) if count else 0.0,
+            "buckets": {
+                str(index): bucket
+                for index, bucket in enumerate(counts)
+                if bucket
+            },
+        }
+        summary.update(self.percentiles())
+        return summary
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, delta: int = 1) -> None:
+        with self._lock:
+            self._value += delta
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms, plus attached Statistics.
+
+    ``counter``/``histogram`` are get-or-create so instrumentation sites
+    never coordinate registration. Gauges are callables sampled at
+    :meth:`collect` time; attached :class:`Statistics` registries are
+    snapshotted at collect time too, so the registry adds no write-path
+    cost on top of what the engine already pays.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, LatencyHistogram] = {}
+        self._gauges: dict[str, Callable[[], Any]] = {}
+        self._stats: dict[str, Any] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            existing = self._counters.get(name)
+            if existing is None:
+                existing = self._counters[name] = Counter(name)
+            return existing
+
+    def histogram(self, name: str, resolution: float = 1e9) -> LatencyHistogram:
+        with self._lock:
+            existing = self._histograms.get(name)
+            if existing is None:
+                existing = self._histograms[name] = LatencyHistogram(
+                    name, resolution=resolution
+                )
+            return existing
+
+    def gauge(self, name: str, fn: Callable[[], Any]) -> None:
+        """Register (or replace) a gauge callable sampled at collect."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    def attach_stats(self, name: str, stats: Any) -> None:
+        """Expose a :class:`Statistics` registry's counters under ``name``."""
+        with self._lock:
+            self._stats[name] = stats
+
+    def histograms(self) -> dict:
+        with self._lock:
+            return dict(self._histograms)
+
+    def collect(self) -> dict:
+        """One JSON-safe snapshot of everything the registry knows."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = dict(self._histograms)
+            gauges = dict(self._gauges)
+            stats = dict(self._stats)
+        gauge_values = {}
+        for name, fn in gauges.items():
+            try:
+                gauge_values[name] = fn()
+            except Exception:  # noqa: BLE001 - a dead gauge must not kill export
+                gauge_values[name] = None
+        return {
+            "counters": {name: c.value for name, c in counters.items()},
+            "gauges": gauge_values,
+            "histograms": {
+                name: h.snapshot() for name, h in histograms.items()
+            },
+            "stats": {name: s.snapshot() for name, s in stats.items()},
+        }

@@ -1,0 +1,108 @@
+"""Background time-series sampler for live engine state.
+
+Counters and histograms record what *happened*; the sampler records what
+the system *looked like* while it happened — Level-1 pressure climbing
+toward the stall threshold, the buffer filling between flushes, cache
+hit rate settling, WAL backlog breathing with the commit policy. One
+daemon thread wakes at a fixed interval, calls a source callable, and
+appends the returned dict to a bounded deque; the engine owns the
+lifecycle (started when observability is on, stopped by
+``engine.close()``), so no thread outlives its engine.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+
+class MetricsSampler:
+    """Periodic snapshot collector over a caller-supplied source.
+
+    Parameters
+    ----------
+    source:
+        Zero-argument callable returning one JSON-safe dict per sample.
+        Exceptions are counted (``sample_errors``) and swallowed — a
+        sampler racing engine teardown must never kill the process.
+    interval_seconds:
+        Wall-clock sampling period.
+    capacity:
+        Maximum retained samples; older samples fall off the front.
+    """
+
+    def __init__(
+        self,
+        source: Callable[[], dict],
+        interval_seconds: float = 0.025,
+        capacity: int = 4096,
+    ):
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._source = source
+        self.interval_seconds = interval_seconds
+        self._samples: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._started_at = 0.0
+        self.sample_errors = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the sampling thread (idempotent); takes one sample now,
+        so even runs shorter than the interval leave a visible series."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._started_at = time.monotonic()
+        self._take_sample()
+        self._thread = threading.Thread(
+            target=self._loop, name="obs-sampler", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the sampling thread (idempotent)."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self._take_sample()
+
+    def _take_sample(self) -> None:
+        try:
+            data = dict(self._source())
+        except Exception:  # noqa: BLE001 - teardown races must not propagate
+            self.sample_errors += 1
+            return
+        data["t"] = round(time.monotonic() - self._started_at, 6)
+        with self._lock:
+            self._samples.append(data)
+
+    def samples(self) -> list[dict]:
+        """The retained samples, oldest first."""
+        with self._lock:
+            return list(self._samples)

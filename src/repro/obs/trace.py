@@ -1,0 +1,229 @@
+"""Span tracing with a bounded ring buffer and Chrome trace export.
+
+A *span* is one named, timed section of work — a flush, one compaction's
+merge, a group-commit drain, a write stall, a recovery phase — recorded
+with the thread that ran it. Spans land in a fixed-size ring buffer
+(old spans are overwritten, recording never blocks on export and memory
+stays bounded no matter how long an experiment runs) and export in the
+Chrome trace-event JSON format, so ``chrome://tracing`` or Perfetto
+renders worker-thread compactions and write-path stalls on one timeline.
+
+The tracer is deliberately process-global by default: an experiment
+builds many engines across many threads, and a single ring captures them
+all without threading a tracer object through every driver. Engines with
+observability disabled use :data:`NULL_TRACER`, whose ``span`` returns a
+shared no-op context manager — the disabled cost is one attribute load
+and one method call.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any
+
+DEFAULT_CAPACITY = 65536
+
+
+class _Span:
+    """An open span; records itself on ``__exit__``."""
+
+    __slots__ = ("_tracer", "name", "args", "_start")
+
+    def __init__(self, tracer: "SpanTracer", name: str, args: dict):
+        self._tracer = tracer
+        self.name = name
+        self.args = args
+
+    def set(self, **args: Any) -> None:
+        """Attach more args mid-span (e.g. output counts known at end)."""
+        self.args.update(args)
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        end = time.perf_counter()
+        self._tracer.record(self.name, self._start, end - self._start, self.args)
+
+
+class _NullSpan:
+    """Shared no-op span: the entire disabled-mode tracing cost."""
+
+    __slots__ = ()
+
+    def set(self, **_args: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Tracer for disabled observability: every operation is a no-op."""
+
+    __slots__ = ()
+
+    def span(self, _name: str, **_args: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def record(self, *_args: Any, **_kwargs: Any) -> None:
+        pass
+
+    def events(self) -> list:
+        return []
+
+
+NULL_TRACER = NullTracer()
+
+
+class SpanTracer:
+    """Thread-safe span recorder over a fixed-capacity ring buffer."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._ring: list = [None] * capacity
+        self._next = 0          # total spans ever recorded
+        # Map perf_counter() onto the wall clock once, so trace
+        # timestamps are comparable across tracers and restarts.
+        self._epoch = time.time() - time.perf_counter()
+
+    def span(self, name: str, **args: Any) -> _Span:
+        """An open span context manager: ``with tracer.span("flush"): ...``"""
+        return _Span(self, name, args)
+
+    def record(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        args: dict | None = None,
+    ) -> None:
+        """Record one finished span (``start`` in perf_counter seconds)."""
+        entry = (name, start, duration, threading.get_ident(),
+                 threading.current_thread().name, args or None)
+        with self._lock:
+            self._ring[self._next % self.capacity] = entry
+            self._next += 1
+
+    # ------------------------------------------------------------------
+    # Introspection & export
+    # ------------------------------------------------------------------
+
+    @property
+    def recorded_total(self) -> int:
+        """Spans ever recorded, including ones the ring has dropped."""
+        return self._next
+
+    @property
+    def dropped(self) -> int:
+        """Spans overwritten by ring wraparound."""
+        return max(0, self._next - self.capacity)
+
+    def events(self) -> list[dict]:
+        """Retained spans, oldest first, as plain dicts."""
+        with self._lock:
+            total = self._next
+            if total <= self.capacity:
+                raw = [e for e in self._ring[:total]]
+            else:
+                pivot = total % self.capacity
+                raw = self._ring[pivot:] + self._ring[:pivot]
+        return [
+            {
+                "name": name,
+                "start": start,
+                "duration": duration,
+                "tid": tid,
+                "thread": thread,
+                "args": dict(args) if args else {},
+            }
+            for (name, start, duration, tid, thread, args) in raw
+            if name is not None
+        ]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring = [None] * self.capacity
+            self._next = 0
+
+    def chrome_trace(self) -> dict:
+        """The retained spans as a Chrome trace-event JSON object.
+
+        Complete (``ph: "X"``) events with microsecond timestamps; open
+        the file at ``chrome://tracing`` or https://ui.perfetto.dev.
+        Thread names are emitted as metadata records so the timeline
+        rows read ``compaction-0`` / ``ingest-shard-2`` instead of bare
+        thread ids.
+        """
+        pid = os.getpid()
+        events = []
+        named: dict[int, str] = {}
+        for event in self.events():
+            named.setdefault(event["tid"], event["thread"])
+            events.append(
+                {
+                    "name": event["name"],
+                    "ph": "X",
+                    "ts": (event["start"] + self._epoch) * 1e6,
+                    "dur": max(event["duration"], 0.0) * 1e6,
+                    "pid": pid,
+                    "tid": event["tid"],
+                    "args": event["args"],
+                }
+            )
+        for tid, thread_name in named.items():
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"name": thread_name},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> int:
+        """Dump :meth:`chrome_trace` to ``path``; returns the span count."""
+        trace = self.chrome_trace()
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(trace, handle, default=str)
+            handle.write("\n")
+        return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")
+
+
+# ---------------------------------------------------------------------------
+# The process-global tracer
+# ---------------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_tracer: SpanTracer | None = None
+
+
+def global_tracer() -> SpanTracer:
+    """The shared process-wide tracer (created on first use)."""
+    global _global_tracer
+    with _global_lock:
+        if _global_tracer is None:
+            _global_tracer = SpanTracer()
+        return _global_tracer
+
+
+def reset_global_tracer() -> None:
+    """Drop the shared tracer (tests; the next use builds a fresh one)."""
+    global _global_tracer
+    with _global_lock:
+        _global_tracer = None

@@ -78,6 +78,7 @@ from repro.core.engine import LSMEngine
 from repro.core.errors import ConfigError, LetheError, PersistenceError
 from repro.core.stats import Statistics
 from repro.kiwi.range_delete import SecondaryDeleteReport
+from repro.obs import Observability
 from repro.shard.merge import combine_reports, kway_merge
 from repro.shard.parallel import AsyncIngestQueue, ShardExecutor, make_executor
 from repro.shard.partitioner import HashPartitioner, Partitioner, RangePartitioner
@@ -336,6 +337,11 @@ class ShardedEngine:
         # Counters of shards retired by split/rebalance, so cluster totals
         # never go backwards when members are replaced.
         self._retired_stats = Statistics()
+        self.obs = Observability.from_config(config)
+        # The pipelined ingest queue is per-call; the sampler reads the
+        # live one (if any) through this slot.
+        self._active_ingest_queue: AsyncIngestQueue | None = None
+        self.obs.start_sampler(self._obs_sample)
 
     # ------------------------------------------------------------------
     # Durable topology
@@ -505,6 +511,7 @@ class ShardedEngine:
         *without* closing models a crash: each member's un-drained WAL
         batch is lost, exactly as its commit policy documents.
         """
+        self.obs.close()
         self.scheduler.drain()
         with self._gate.shared():
             topology = self._topology
@@ -541,6 +548,40 @@ class ShardedEngine:
         """The member engine owning ``key`` (for inspection/debugging)."""
         topology = self._topology
         return topology.shards[topology.partitioner.shard_for(key)]
+
+    def _obs_sample(self) -> dict:
+        """Cluster-level background-sampler snapshot.
+
+        Reads only atomically swapped state (the topology reference, each
+        member's tree view, queue sizes), so it never takes the gate or a
+        shard lock — safe from the sampler thread while a reshard runs.
+        """
+        topology = self._topology
+        l1_runs = [shard._pending_l1_runs() for shard in topology.shards]
+        ingest_queue = self._active_ingest_queue
+        return {
+            "n_shards": len(topology.shards),
+            "l1_pending_runs": l1_runs,
+            "l1_pending_runs_max": max(l1_runs, default=0),
+            "ingest_backlog": (
+                sum(ingest_queue.backlog()) if ingest_queue is not None else 0
+            ),
+            "entries_ingested": sum(
+                shard.stats.entries_ingested for shard in topology.shards
+            ),
+        }
+
+    def merged_op_histogram(self, which: str = "write"):
+        """Cluster-wide op-latency histogram: per-shard histograms merged
+        via :meth:`~repro.obs.LatencyHistogram.combined` (the same fold
+        :meth:`Statistics.merge` applies to counters)."""
+        from repro.obs import LatencyHistogram
+
+        attr = "op_write_latency" if which == "write" else "op_read_latency"
+        parts = [getattr(shard.obs, attr) for shard in self._topology.shards]
+        return LatencyHistogram.combined(
+            parts, name=f"cluster_{attr}_seconds"
+        )
 
     # ------------------------------------------------------------------
     # Dispatch plumbing
@@ -768,7 +809,9 @@ class ShardedEngine:
         ingest_queue = AsyncIngestQueue(
             [handler_for(index) for index in range(topology.partitioner.n_shards)],
             depth=self.ingest_queue_depth or DEFAULT_PIPELINE_DEPTH,
+            obs=self.obs,
         )
+        self._active_ingest_queue = ingest_queue
         try:
             for item in topology.router.batches(operations):
                 if isinstance(item, ShardBatch):
@@ -778,6 +821,7 @@ class ShardedEngine:
                     run_barrier(item)
             ingest_queue.drain()
         finally:
+            self._active_ingest_queue = None
             ingest_queue.close()
 
     def _apply_batch(

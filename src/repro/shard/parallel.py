@@ -46,6 +46,7 @@ from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
 from repro.core.errors import ConfigError
+from repro.obs import NULL_OBS
 
 
 class ShardExecutor(ABC):
@@ -193,13 +194,17 @@ class AsyncIngestQueue:
     """
 
     def __init__(
-        self, handlers: Sequence[Callable[[list], None]], depth: int = 4
+        self,
+        handlers: Sequence[Callable[[list], None]],
+        depth: int = 4,
+        obs: Any = None,
     ):
         if depth < 1:
             raise ConfigError(f"ingest queue depth must be >= 1, got {depth}")
         if not handlers:
             raise ConfigError("AsyncIngestQueue needs at least one handler")
         self.depth = depth
+        self.obs = obs if obs is not None else NULL_OBS
         self._queues: list[queue.Queue] = [
             queue.Queue(maxsize=depth) for _ in handlers
         ]
@@ -241,7 +246,12 @@ class AsyncIngestQueue:
         if self._closed:
             raise ConfigError("enqueue on a closed AsyncIngestQueue")
         self._raise_pending()
-        self._queues[shard].put(operations)
+        pending = self._queues[shard]
+        if self.obs.enabled:
+            # Depth *before* the put: what the producer saw when it
+            # decided to enqueue (and possibly block) on this shard.
+            self.obs.ingest_queue_depth.record(pending.qsize())
+        pending.put(operations)
 
     def drain(self) -> None:
         """Block until every queued batch has been applied (a barrier)."""

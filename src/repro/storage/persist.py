@@ -85,6 +85,7 @@ import json
 import os
 import struct
 import threading
+import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -98,6 +99,7 @@ from repro.core.config import (
 )
 from repro.core.errors import PersistenceError
 from repro.lsm.wal import CommitPolicy, WALRecord, WALSegment
+from repro.obs import NULL_OBS
 from repro.storage.entry import Entry, RangeTombstone
 from repro.storage.serialization import (
     decode_durable_entry,
@@ -411,6 +413,13 @@ class DurableStore:
         """Bind the engine whose state this store snapshots at commits."""
         self._engine = engine
 
+    @property
+    def _obs(self):
+        """The attached engine's observability bundle (or the shared
+        disabled one while the store runs detached, e.g. during create)."""
+        engine = self._engine
+        return engine.obs if engine is not None else NULL_OBS
+
     # ------------------------------------------------------------------
     # Paths
     # ------------------------------------------------------------------
@@ -587,23 +596,30 @@ class DurableStore:
         against concurrent appends by the WAL mutex (manifest commits
         may run on a background compaction worker).
         """
+        obs = self._obs
         with self._wal_mutex:
             self._reraise_timer_error()
             for segment_id in sorted(self._appenders):
                 appender = self._appenders[segment_id]
                 if not appender.pending_records and not appender.pending:
                     continue
-                self.injector.before_write(
-                    f"wal-append[{appender.pending_records}]"
-                )
-                if appender.handle is None:
-                    appender.handle = open(appender.path, "ab")
-                appender.handle.write(bytes(appender.pending))
-                appender.handle.flush()
-                self._fsync_handle(appender.handle)
-                appender.pending = bytearray()
-                appender.pending_records = 0
-                appender.pending_opened_at = None
+                records = appender.pending_records
+                with obs.tracer.span(
+                    "wal-commit", segment=segment_id, records=records
+                ):
+                    started = time.perf_counter() if obs.enabled else 0.0
+                    self.injector.before_write(f"wal-append[{records}]")
+                    if appender.handle is None:
+                        appender.handle = open(appender.path, "ab")
+                    appender.handle.write(bytes(appender.pending))
+                    appender.handle.flush()
+                    self._fsync_handle(appender.handle)
+                    appender.pending = bytearray()
+                    appender.pending_records = 0
+                    appender.pending_opened_at = None
+                if obs.enabled:
+                    obs.wal_commit_latency.record(time.perf_counter() - started)
+                    obs.wal_commit_batch_records.record(records)
 
     def _drop_appenders(self, segment_ids: list[int]) -> None:
         """Discard appender state for segments leaving the live set.
@@ -689,6 +705,12 @@ class DurableStore:
         so the new watermark is passed in explicitly).
         """
         engine = self._require_engine()
+        with engine.obs.tracer.span("manifest-commit", reason=reason):
+            self._commit_impl(engine, reason, watermark)
+
+    def _commit_impl(
+        self, engine: Any, reason: str, watermark: int | None
+    ) -> None:
         self.wal_sync()
         if watermark is None:
             watermark = engine.wal.flushed_seqnum

@@ -1,6 +1,13 @@
 """Unit tests for the bench reporting helpers."""
 
-from repro.bench.reporting import format_series, format_table, ratio_summary
+import json
+
+from repro.bench.reporting import (
+    format_series,
+    format_table,
+    ratio_summary,
+    write_experiment_json,
+)
 
 
 class TestFormatTable:
@@ -49,3 +56,35 @@ class TestRatioSummary:
     def test_zero_cases(self):
         assert "both 0" in ratio_summary("m", 0.0, 0.0)
         assert "∞× better" in ratio_summary("m", 0.0, 5.0)
+
+
+class TestWriteExperimentJson:
+    def test_shared_layout(self, tmp_path):
+        path = tmp_path / "out.json"
+        payload = write_experiment_json(
+            str(path),
+            "fig6x",
+            {"xs": [1, 2], "ys": [0.5, 0.25]},
+            elapsed_seconds=1.23456,
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk == payload
+        assert on_disk["figure"] == "fig6x"
+        assert on_disk["elapsed_seconds"] == 1.235
+        assert on_disk["series"]["xs"] == [1, 2]
+        # The shared contract: sorted keys, trailing newline.
+        assert path.read_text().endswith("\n")
+        assert list(on_disk) == sorted(on_disk)
+
+    def test_extra_keys_and_non_json_values(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_experiment_json(
+            str(path),
+            "metrics",
+            {"when": object()},  # default=str keeps the dump total
+            extra={"gate": 0.05},
+        )
+        on_disk = json.loads(path.read_text())
+        assert on_disk["gate"] == 0.05
+        assert "elapsed_seconds" not in on_disk
+        assert isinstance(on_disk["series"]["when"], str)

@@ -1,0 +1,49 @@
+"""Bench for the serving layer: pipelining speedup and concurrent fan-in.
+
+Expected shape: a pipelined connection amortizes the per-round-trip
+latency (socket wakeups, frame parses, dispatch hand-offs) across a
+burst, so its throughput must beat one-request-per-round-trip by a
+healthy margin — the CI gate is 1.3x, the observed margin is usually
+3–6x on loopback. The concurrent part fans a multi-tenant skewed
+stream across >100 async connections and asserts (inside the driver,
+hard) that the served cluster's final state is byte-identical to an
+in-process ingest of the same stream.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import BENCH_SCALE
+
+from benchmarks.conftest import emit
+
+
+def test_serving_scaling(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.serving_experiment(BENCH_SCALE),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    pipelining = result.series["pipelining"]
+    serving = result.series["serving"]
+
+    # The gate: pipelined throughput >= 1.3x one-request-per-round-trip.
+    assert pipelining["speedup"] >= 1.3, (
+        f"pipelining speedup {pipelining['speedup']:.2f}x under the "
+        f"1.3x CI floor"
+    )
+    assert (
+        pipelining["pipelined_ops_per_s"]
+        >= 1.3 * pipelining["sequential_ops_per_s"]
+    )
+
+    # The acceptance scale: >= 100 concurrent connections, and the
+    # served state matched in-process ingest (asserted in the driver,
+    # re-checked here via the series flag).
+    assert serving["connections"] >= 100
+    assert serving["identical_state"] is True
+    assert serving["total_requests"] > 0
+    assert serving["ops_per_s"] > 0
+
+    # Latency histogram actually observed the run.
+    assert serving["net_request_p99_ms"] >= serving["net_request_p50_ms"] > 0

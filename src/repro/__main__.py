@@ -53,6 +53,9 @@ _STANDALONE = {
     "metrics": lambda scale, executor, quick: ex.metrics_experiment(
         scale, quick=quick
     ),
+    "serve": lambda scale, executor, quick: ex.serving_experiment(
+        scale, quick=quick
+    ),
 }
 
 # Reduced scale for `--quick` (CI smoke): enough volume that flushes,
@@ -119,7 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
-        "recovery, wal, compaction, metrics), 'all', or 'list'",
+        "recovery, wal, compaction, metrics, serve), 'all', or 'list'",
     )
     parser.add_argument(
         "--inserts",

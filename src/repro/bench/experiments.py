@@ -2029,3 +2029,234 @@ def metrics_experiment(
         + forced_note
     )
     return ExperimentResult(figure="metrics", series=series, report=report)
+
+
+# ======================================================================
+# Serving: the cluster behind a socket (PR 7)
+# ======================================================================
+
+
+def serving_experiment(
+    scale: ExperimentScale = BENCH_SCALE,
+    quick: bool = False,
+    connections: int | None = None,
+    n_shards: int = 4,
+    n_tenants: int = 8,
+    skew: float = 2.0,
+    pipeline_batch: int = 64,
+) -> ExperimentResult:
+    """End-to-end serving numbers: pipelining speedup and fan-in scale.
+
+    Two parts, both over real loopback sockets against
+    :class:`~repro.net.server.LetheServer`:
+
+    **A. Pipelining** — one connection replays a slice of the workload
+    twice: once one-request-per-round-trip, once pipelined in bursts of
+    ``pipeline_batch``. The speedup is the whole point of the protocol's
+    in-order window (and is gated ≥ 1.3x in CI at bench scale).
+
+    **B. Concurrent fan-in** — the multi-tenant skewed stream is
+    partitioned by key across ``connections`` async clients (per-key
+    order preserved, like a real per-user session affinity) and driven
+    concurrently at one server. The final cluster state must be
+    *identical* to an in-process ``ingest`` of the same stream — the
+    serving layer may reorder across keys, never within one. Reported
+    through the obs stack: the server's ``net_request_latency_seconds``
+    histogram and ``net:parse``/``net:dispatch`` spans.
+    """
+    import asyncio
+
+    from repro.net.client import AsyncLetheClient, LetheClient
+    from repro.net.server import LetheServer
+
+    if connections is None:
+        connections = 50 if quick else 128
+
+    spec = MultiTenantSpec.skewed(
+        n_tenants=n_tenants,
+        skew=skew,
+        num_inserts=scale.num_inserts,
+        num_point_lookups=scale.num_point_lookups,
+        seed=scale.seed,
+    )
+    workload = MultiTenantWorkload(spec)
+    ingest_ops = list(workload.ingest_operations())
+    config = lethe_config(
+        1e9,
+        delete_tile_pages=4,
+        observability=True,
+        obs_sample_interval_ms=0.0,
+        **scale.engine_overrides(),
+    )
+
+    def build_cluster() -> ShardedEngine:
+        return ShardedEngine(config, n_shards=n_shards, ingest_queue_depth=4)
+
+    def full_surface(cluster: ShardedEngine) -> list[tuple]:
+        keys = [op[1] for op in ingest_ops]
+        return cluster.scan(min(keys), max(keys))
+
+    # --- Part A: pipelined vs one-request-per-round-trip ---------------
+    slice_ops = ingest_ops[: min(2000, len(ingest_ops))]
+
+    def timed_single_connection(pipelined: bool) -> float:
+        cluster = build_cluster()
+        try:
+            with LetheServer(cluster) as server:
+                with LetheClient("127.0.0.1", server.port) as client:
+                    started = time.perf_counter()
+                    if pipelined:
+                        for base in range(0, len(slice_ops), pipeline_batch):
+                            client.execute(
+                                slice_ops[base : base + pipeline_batch]
+                            )
+                    else:
+                        for op in slice_ops:
+                            client._call(op)
+                    return time.perf_counter() - started
+        finally:
+            cluster.close()
+
+    sequential_wall = timed_single_connection(pipelined=False)
+    pipelined_wall = timed_single_connection(pipelined=True)
+    speedup = sequential_wall / pipelined_wall
+    floor = 1.0 if quick else 1.3
+    assert speedup >= floor, (
+        f"pipelining speedup {speedup:.2f}x under the {floor}x floor "
+        f"({len(slice_ops)} ops, batch {pipeline_batch})"
+    )
+
+    # --- Part B: concurrent fan-in vs in-process ingest -----------------
+    # Stable per-key connection affinity: every operation on one key
+    # rides one connection, so per-key order survives the concurrency.
+    per_connection: list[list[tuple]] = [[] for _ in range(connections)]
+    for op in ingest_ops:
+        per_connection[op[1] % connections].append(op)
+
+    served = build_cluster()
+    server = LetheServer(served)
+    server.start()
+    try:
+        async def drive() -> None:
+            clients = []
+            for _ in range(connections):
+                clients.append(
+                    await AsyncLetheClient.connect("127.0.0.1", server.port)
+                )
+
+            async def run(index: int) -> None:
+                client = clients[index]
+                ops = per_connection[index]
+                # Bounded client-side window: keep the pipe full without
+                # holding every future at once.
+                for base in range(0, len(ops), pipeline_batch):
+                    futures = [
+                        await client.submit(op)
+                        for op in ops[base : base + pipeline_batch]
+                    ]
+                    await asyncio.gather(*futures)
+                # Read-your-writes probe on this connection's last put.
+                last_put = next(
+                    (op for op in reversed(ops) if op[0] == "put"), None
+                )
+                if last_put is not None:
+                    value = await client.call(("get", last_put[1]))
+                    assert value == last_put[2], (
+                        f"connection {index} lost its own write"
+                    )
+
+            try:
+                await asyncio.gather(*[run(i) for i in range(connections)])
+            finally:
+                for client in clients:
+                    await client.close()
+
+        started = time.perf_counter()
+        asyncio.run(drive())
+        serving_wall = time.perf_counter() - started
+        total_requests = server.requests_completed
+        assert server.connections_accepted >= connections
+        histogram = server.request_latency
+        assert histogram.count == server.requests_received, (
+            "net:request histogram disagrees with the request counter"
+        )
+        p50_ms = histogram.quantile(0.50) * 1e3
+        p99_ms = histogram.quantile(0.99) * 1e3
+        span_names = {
+            event["name"] for event in served.obs.tracer.events()
+        }
+        assert {"net:parse", "net:dispatch"} <= span_names, (
+            f"serving spans missing from the trace ring: {span_names}"
+        )
+    finally:
+        server.stop()
+
+    reference = build_cluster()
+    try:
+        reference.ingest(ingest_ops)
+        served_state = full_surface(served)
+        reference_state = full_surface(reference)
+        assert served_state == reference_state, (
+            "served cluster state diverged from in-process ingest: "
+            f"{len(served_state)} vs {len(reference_state)} live keys"
+        )
+    finally:
+        reference.close()
+        served.close()
+
+    serving_ops_per_s = total_requests / serving_wall
+    series = {
+        "pipelining": {
+            "ops": len(slice_ops),
+            "batch": pipeline_batch,
+            "sequential_ops_per_s": _round(len(slice_ops) / sequential_wall),
+            "pipelined_ops_per_s": _round(len(slice_ops) / pipelined_wall),
+            "speedup": _round(speedup),
+            "floor": floor,
+        },
+        "serving": {
+            "connections": connections,
+            "n_shards": n_shards,
+            "total_requests": total_requests,
+            "wall_seconds": _round(serving_wall),
+            "ops_per_s": _round(serving_ops_per_s),
+            "net_request_p50_ms": _round(p50_ms),
+            "net_request_p99_ms": _round(p99_ms),
+            "identical_state": True,
+            "live_keys": len(served_state),
+        },
+    }
+    report = (
+        format_table(
+            ["mode", "ops/s", "wall s"],
+            [
+                ["1 req / round trip",
+                 _round(len(slice_ops) / sequential_wall),
+                 _round(sequential_wall)],
+                [f"pipelined x{pipeline_batch}",
+                 _round(len(slice_ops) / pipelined_wall),
+                 _round(pipelined_wall)],
+            ],
+            title=(
+                f"Pipelining, one connection, {len(slice_ops)} ops "
+                f"(speedup {speedup:.2f}x, floor {floor}x)"
+            ),
+        )
+        + "\n\n"
+        + format_table(
+            ["connections", "requests", "ops/s", "p50", "p99", "state"],
+            [[
+                connections,
+                total_requests,
+                _round(serving_ops_per_s),
+                f"{p50_ms:.2f}ms",
+                f"{p99_ms:.2f}ms",
+                "identical",
+            ]],
+            title=(
+                f"Concurrent fan-in: {connections} async connections, "
+                f"{n_tenants} tenants (skew {skew}), {n_shards} shards"
+            ),
+        )
+    )
+    return ExperimentResult(figure="serve", series=series, report=report)

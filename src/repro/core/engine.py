@@ -939,13 +939,24 @@ class LSMEngine:
         have nothing to release. A process that exits *without* closing
         models a crash: whatever the commit policy had not yet drained
         is lost, which is exactly the trade-off the policy spec names.
+
+        Every step runs even when an earlier one raises (the first
+        exception re-raises at the end), so a failing store cannot leak
+        the sampler or scheduler worker threads into the process.
         """
-        self.obs.close()
-        self.scheduler.drain()
-        if self._store is not None:
-            self._store.close()
-        if self._owns_scheduler:
-            self.scheduler.close()
+        errors: list[BaseException] = []
+        for fn in (
+            self.obs.close,
+            self.scheduler.drain,
+            (self._store.close if self._store is not None else lambda: None),
+            (self.scheduler.close if self._owns_scheduler else lambda: None),
+        ):
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+        if errors:
+            raise errors[0]
 
     # ------------------------------------------------------------------
     # Bulk loading convenience

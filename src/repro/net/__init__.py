@@ -1,0 +1,26 @@
+"""Network serving layer: the sharded cluster behind a socket.
+
+* :mod:`repro.net.protocol` — length-framed binary request protocol.
+* :mod:`repro.net.server` — asyncio server with pipelining, bounded
+  in-flight windows, batched ingest hand-off, and sync-before-ack
+  durability.
+* :mod:`repro.net.client` — sync client + connection pool + asyncio
+  client for high-concurrency drivers.
+
+See ``docs/serving.md`` for the wire format and semantics.
+"""
+
+from repro.net.client import AsyncLetheClient, ClientPool, LetheClient, ServerError
+from repro.net.protocol import MAX_FRAME_BYTES, FrameDecoder, ProtocolError
+from repro.net.server import LetheServer
+
+__all__ = [
+    "AsyncLetheClient",
+    "ClientPool",
+    "FrameDecoder",
+    "LetheClient",
+    "LetheServer",
+    "MAX_FRAME_BYTES",
+    "ProtocolError",
+    "ServerError",
+]

@@ -510,19 +510,43 @@ class ShardedEngine:
         so every acknowledged merge is durably committed. Exiting
         *without* closing models a crash: each member's un-drained WAL
         batch is lost, exactly as its commit policy documents.
+
+        Shutdown is exception-safe: every step below (sampler, scheduler
+        drain, each member store, executor, owned scheduler) runs even
+        when an earlier one raises, so a failing member cannot leak the
+        sampler/scheduler/worker daemon threads of the others. The first
+        exception re-raises once teardown completes. Member stores close
+        serially (not through the executor) so a broken executor cannot
+        block store shutdown.
         """
-        self.obs.close()
-        self.scheduler.drain()
-        with self._gate.shared():
-            topology = self._topology
-            self._fan_out(
-                topology,
-                topology.partitioner.all_shards(),
-                lambda shard: shard.close(),
-            )
-        self.executor.close()
+        errors: list[BaseException] = []
+
+        def step(fn: Callable[[], Any]) -> None:
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                errors.append(exc)
+
+        step(self.obs.close)
+        step(self.scheduler.drain)
+        try:
+            with self._gate.shared():
+                topology = self._topology
+                for index in topology.partitioner.all_shards():
+                    lock, shard = topology.locks[index], topology.shards[index]
+
+                    def close_shard(lock=lock, shard=shard) -> None:
+                        with lock:
+                            shard.close()
+
+                    step(close_shard)
+        except BaseException as exc:  # noqa: BLE001 - gate itself failed
+            errors.append(exc)
+        step(self.executor.close)
         if self._owns_scheduler:
-            self.scheduler.close()
+            step(self.scheduler.close)
+        if errors:
+            raise errors[0]
 
     # ------------------------------------------------------------------
     # Topology access
@@ -776,7 +800,24 @@ class ShardedEngine:
         """
         if pipelined is None:
             pipelined = self.ingest_queue_depth > 0
-        topology = self._topology
+
+        if not pipelined:
+            topology = self._topology
+            for item in topology.router.batches(operations):
+                if isinstance(item, ShardBatch):
+                    self._apply_batch(topology, item.shard, item.operations)
+                elif isinstance(item, Barrier):
+                    self._run_barrier(item)
+            return
+
+        # The pipelined path is a single-submit ingest session: the same
+        # machinery the serving layer holds open across many submits.
+        with self.ingest_session() as session:
+            session.submit(operations)
+            session.drain()
+
+    def _run_barrier(self, item: Barrier) -> None:
+        """Dispatch one multi-shard (barrier) operation from a stream."""
         barrier_dispatch = {
             "range_delete": self.range_delete,
             "scan": self.scan,
@@ -785,44 +826,26 @@ class ShardedEngine:
             "flush": self.flush,
             "advance_time": self.advance_time,
         }
+        name = item.operation[0]
+        handler = barrier_dispatch.get(name)
+        if handler is None:  # pragma: no cover - router rejects first
+            raise LetheError(f"unroutable barrier operation {name!r}")
+        handler(*item.operation[1:])
 
-        def run_barrier(item: Barrier) -> None:
-            name = item.operation[0]
-            handler = barrier_dispatch.get(name)
-            if handler is None:  # pragma: no cover - router rejects first
-                raise LetheError(f"unroutable barrier operation {name!r}")
-            handler(*item.operation[1:])
+    def ingest_session(self, depth: int | None = None) -> "IngestSession":
+        """Open a long-lived pipelined ingest handle on this cluster.
 
-        if not pipelined:
-            for item in topology.router.batches(operations):
-                if isinstance(item, ShardBatch):
-                    self._apply_batch(topology, item.shard, item.operations)
-                elif isinstance(item, Barrier):
-                    run_barrier(item)
-            return
-
-        def handler_for(index: int) -> Callable[[list], None]:
-            return lambda batch_ops: self._apply_batch(
-                topology, index, batch_ops
-            )
-
-        ingest_queue = AsyncIngestQueue(
-            [handler_for(index) for index in range(topology.partitioner.n_shards)],
-            depth=self.ingest_queue_depth or DEFAULT_PIPELINE_DEPTH,
-            obs=self.obs,
+        Unlike :meth:`ingest` (which builds and tears down its per-shard
+        worker threads per call), a session keeps one
+        :class:`~repro.shard.parallel.AsyncIngestQueue` alive across many
+        :meth:`IngestSession.submit` calls — the shape the serving layer
+        needs, where every connection's write batches feed one shared
+        pipeline. ``depth`` defaults to the cluster's configured
+        ``ingest_queue_depth`` (or :data:`DEFAULT_PIPELINE_DEPTH`).
+        """
+        return IngestSession(
+            self, depth or self.ingest_queue_depth or DEFAULT_PIPELINE_DEPTH
         )
-        self._active_ingest_queue = ingest_queue
-        try:
-            for item in topology.router.batches(operations):
-                if isinstance(item, ShardBatch):
-                    ingest_queue.enqueue(item.shard, item.operations)
-                elif isinstance(item, Barrier):
-                    ingest_queue.drain()
-                    run_barrier(item)
-            ingest_queue.drain()
-        finally:
-            self._active_ingest_queue = None
-            ingest_queue.close()
 
     def _apply_batch(
         self, routed: _Topology, index: int, batch_ops: list
@@ -1134,6 +1157,162 @@ def _entry_counts(topology: _Topology) -> list[int]:
         shard.tree.total_entries + len(shard.buffer)
         for shard in topology.shards
     ]
+
+
+class IngestTicket:
+    """Completion handle for one :meth:`IngestSession.submit`.
+
+    Counts down as the submit's per-shard batches are applied by the
+    queue workers; :meth:`wait` blocks until all of them finished and
+    re-raises the first failure. Tickets are what lets the serving layer
+    acknowledge a client's writes only once they actually landed in the
+    member engines (and, for durable clusters, survived a WAL sync).
+    """
+
+    def __init__(self) -> None:
+        self._cv = threading.Condition()
+        self._outstanding = 0
+        self._sealed = False
+        self._error: BaseException | None = None
+
+    def _register(self) -> None:
+        with self._cv:
+            self._outstanding += 1
+
+    def _seal(self) -> None:
+        # Submit finished enqueueing; without this a ticket could look
+        # complete between two of its own batches.
+        with self._cv:
+            self._sealed = True
+            if self._outstanding == 0:
+                self._cv.notify_all()
+
+    def _done(self, error: BaseException | None) -> None:
+        with self._cv:
+            if error is not None and self._error is None:
+                self._error = error
+            self._outstanding -= 1
+            if self._sealed and self._outstanding == 0:
+                self._cv.notify_all()
+
+    def done(self) -> bool:
+        with self._cv:
+            return self._sealed and self._outstanding == 0
+
+    def wait(self, timeout: float | None = None) -> None:
+        """Block until every batch of this submit completed; re-raise
+        the first batch failure."""
+        with self._cv:
+            finished = self._cv.wait_for(
+                lambda: self._sealed and self._outstanding == 0, timeout
+            )
+            if not finished:
+                raise TimeoutError("ingest ticket not complete in time")
+            if self._error is not None:
+                raise self._error
+
+
+class IngestSession:
+    """A long-lived pipelined ingest handle on a :class:`ShardedEngine`.
+
+    Holds one :class:`~repro.shard.parallel.AsyncIngestQueue` (one
+    worker thread per shard, bounded depth) across many :meth:`submit`
+    calls, so concurrent producers — e.g. every connection of the
+    serving layer — share a single bounded pipeline instead of paying
+    per-call worker churn. Each submit returns an :class:`IngestTicket`
+    that completes when that submit's batches have been applied.
+
+    Ordering: submits are serialized by an internal lock, and each
+    shard's batches apply in enqueue order, so two submits' writes to
+    one key land in submit order. Barrier operations inside a stream
+    (``scan``, ``secondary_*``, ``flush``, …) drain the queue first and
+    run inline, exactly like :meth:`ShardedEngine.ingest`; their errors
+    raise out of :meth:`submit` directly.
+
+    A reshard may land between batches — each batch then re-routes
+    through the current topology (see :meth:`ShardedEngine._apply_batch`),
+    so sessions stay correct across :meth:`split`/:meth:`rebalance`.
+    """
+
+    def __init__(self, cluster: ShardedEngine, depth: int):
+        self._cluster = cluster
+        self._lock = threading.Lock()
+        self._closed = False
+        topology = cluster._topology
+        self._topology = topology
+
+        def handler_for(index: int) -> Callable[[list], None]:
+            return lambda batch_ops: cluster._apply_batch(
+                topology, index, batch_ops
+            )
+
+        self._queue = AsyncIngestQueue(
+            [handler_for(index) for index in range(topology.partitioner.n_shards)],
+            depth=depth,
+            obs=cluster.obs,
+        )
+        cluster._active_ingest_queue = self._queue
+
+    def submit(self, operations: Iterable[tuple]) -> IngestTicket:
+        """Route and enqueue a stream; returns its completion ticket."""
+        ticket = IngestTicket()
+        with self._lock:
+            if self._closed:
+                raise ConfigError("submit on a closed IngestSession")
+            for item in self._topology.router.batches(operations):
+                if isinstance(item, ShardBatch):
+                    ticket._register()
+                    self._queue.enqueue(
+                        item.shard, item.operations, on_done=ticket._done
+                    )
+                elif isinstance(item, Barrier):
+                    self._queue.drain()
+                    self._cluster._run_barrier(item)
+        ticket._seal()
+        return ticket
+
+    def drain(self) -> None:
+        """Block until every enqueued batch applied; re-raise failures."""
+        self._queue.drain()
+
+    def backlog(self) -> list[int]:
+        return self._queue.backlog()
+
+    def close(self) -> None:
+        """Drain remaining batches, stop the workers, re-raise errors."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._queue.close()
+        finally:
+            if self._cluster._active_ingest_queue is self._queue:
+                self._cluster._active_ingest_queue = None
+
+    def abort(self) -> None:
+        """Hard-stop the workers, discarding still-queued batches.
+
+        Crash-test hook: already-running batches finish, queued ones are
+        dropped (their tickets fail with ``IngestAborted``), and member
+        stores are left exactly as a kill -9 would — not closed, not
+        drained.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._queue.abort()
+        finally:
+            if self._cluster._active_ingest_queue is self._queue:
+                self._cluster._active_ingest_queue = None
+
+    def __enter__(self) -> "IngestSession":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
 
 def _live_entries(engine: LSMEngine) -> list[Entry]:

@@ -172,6 +172,10 @@ def make_executor(spec: ShardExecutor | str | None) -> ShardExecutor:
 _STOP = object()
 
 
+class IngestAborted(RuntimeError):
+    """A queued batch was discarded by :meth:`AsyncIngestQueue.abort`."""
+
+
 class AsyncIngestQueue:
     """Bounded per-shard pipeline between the router and the members.
 
@@ -191,6 +195,13 @@ class AsyncIngestQueue:
     exception re-raises on the next :meth:`enqueue`, :meth:`drain`, or
     :meth:`close`. Batches behind a failed one on the same shard are
     discarded — their writes may depend on the failed batch's state.
+
+    Completion callbacks: ``enqueue(..., on_done=fn)`` registers a
+    per-batch callback invoked by the worker after the batch is applied
+    (``fn(None)``), fails (``fn(exc)``), or is discarded behind an
+    earlier failure or an :meth:`abort` (``fn(error)``). This is the ack
+    hook the serving layer's :class:`~repro.shard.engine.IngestSession`
+    tickets hang off.
     """
 
     def __init__(
@@ -210,6 +221,7 @@ class AsyncIngestQueue:
         ]
         self._errors: list[BaseException | None] = [None] * len(handlers)
         self._closed = False
+        self._aborted = False
         self._threads = [
             threading.Thread(
                 target=self._worker,
@@ -226,13 +238,23 @@ class AsyncIngestQueue:
         pending = self._queues[index]
         while True:
             item = pending.get()
+            outcome: BaseException | None = None
             try:
                 if item is _STOP:
                     return
-                if self._errors[index] is None:
-                    handler(item)
-            except BaseException as exc:  # noqa: BLE001 - re-raised to producer
-                self._errors[index] = exc
+                operations, on_done = item
+                try:
+                    if self._aborted:
+                        outcome = IngestAborted("ingest queue aborted")
+                    elif self._errors[index] is not None:
+                        outcome = self._errors[index]
+                    else:
+                        handler(operations)
+                except BaseException as exc:  # noqa: BLE001 - re-raised to producer
+                    self._errors[index] = exc
+                    outcome = exc
+                if on_done is not None:
+                    on_done(outcome)
             finally:
                 pending.task_done()
 
@@ -241,7 +263,12 @@ class AsyncIngestQueue:
             if error is not None:
                 raise error
 
-    def enqueue(self, shard: int, operations: list) -> None:
+    def enqueue(
+        self,
+        shard: int,
+        operations: list,
+        on_done: Callable[[BaseException | None], None] | None = None,
+    ) -> None:
         """Queue one batch for ``shard``; blocks at ``depth`` backlog."""
         if self._closed:
             raise ConfigError("enqueue on a closed AsyncIngestQueue")
@@ -251,7 +278,12 @@ class AsyncIngestQueue:
             # Depth *before* the put: what the producer saw when it
             # decided to enqueue (and possibly block) on this shard.
             self.obs.ingest_queue_depth.record(pending.qsize())
-        pending.put(operations)
+        pending.put((operations, on_done))
+        if self._aborted:
+            # Raced an abort(): the workers may already be gone, so this
+            # item would never be consumed. Sweep it (and anything else
+            # left) ourselves so its on_done callback always fires.
+            self._discard_pending()
 
     def drain(self) -> None:
         """Block until every queued batch has been applied (a barrier)."""
@@ -273,6 +305,42 @@ class AsyncIngestQueue:
         for thread in self._threads:
             thread.join()
         self._raise_pending()
+
+    def abort(self) -> None:
+        """Stop the workers WITHOUT applying still-queued batches.
+
+        Models a hard kill for the serving layer's crash tests: batches
+        already mid-handler finish (a write in flight may land), queued
+        batches are discarded with :class:`IngestAborted` delivered to
+        their ``on_done`` callbacks, and no pending error is re-raised.
+        """
+        if self._closed:
+            return
+        self._aborted = True
+        self._closed = True
+        for pending in self._queues:
+            pending.put(_STOP)
+        for thread in self._threads:
+            thread.join()
+        # A producer's put may still land after the workers exited (it
+        # was blocked on a full queue while we drained); sweep leftovers
+        # so every batch's callback fires exactly once.
+        self._discard_pending()
+
+    def _discard_pending(self) -> None:
+        for pending in self._queues:
+            while True:
+                try:
+                    item = pending.get_nowait()
+                except queue.Empty:
+                    break
+                try:
+                    if item is not _STOP:
+                        _, on_done = item
+                        if on_done is not None:
+                            on_done(IngestAborted("ingest queue aborted"))
+                finally:
+                    pending.task_done()
 
     def __enter__(self) -> "AsyncIngestQueue":
         return self

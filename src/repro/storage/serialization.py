@@ -139,7 +139,14 @@ _VALUE_BYTES = 1
 _VALUE_PICKLE = 2
 
 
-def _pack_value(value) -> tuple[int, bytes]:
+def pack_value(value) -> tuple[int, bytes]:
+    """Tag-encode one value: ``(tag, payload)``.
+
+    ``None`` and ``bytes`` get dedicated tags; anything else pickles.
+    Shared by the durable record codec below and the network protocol
+    (:mod:`repro.net.protocol`), so a value round-trips identically
+    through the WAL and over a socket.
+    """
     if value is None:
         return _VALUE_NONE, b""
     if isinstance(value, (bytes, bytearray)):
@@ -147,7 +154,8 @@ def _pack_value(value) -> tuple[int, bytes]:
     return _VALUE_PICKLE, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def _unpack_value(tag: int, payload: bytes):
+def unpack_value(tag: int, payload: bytes):
+    """Invert :func:`pack_value`; raises ``ValueError`` on unknown tags."""
     if tag == _VALUE_NONE:
         return None
     if tag == _VALUE_BYTES:
@@ -155,6 +163,12 @@ def _unpack_value(tag: int, payload: bytes):
     if tag == _VALUE_PICKLE:
         return pickle.loads(payload)
     raise ValueError(f"corrupt durable record: unknown value tag {tag}")
+
+
+# Backwards-compatible aliases (the durable codec predates the public
+# names; repro.net.protocol and new code use the public pair above).
+_pack_value = pack_value
+_unpack_value = unpack_value
 
 
 def encode_durable_entry(entry: Entry) -> bytes:

@@ -1,0 +1,64 @@
+"""Bench gate for first-class primary-key range deletes.
+
+Expected shape: offboarding a tenant with ``delete_range`` writes one
+WAL record and one buffered tombstone — O(1) whatever the tenant's
+size — while the scan-and-tombstone recipe it replaces pays one point
+delete (and, under ``every_op``, one durable append) per live key. The
+experiment asserts the two strategies converge on the identical final
+scan surface and that the tombstone survives recovery; this bench pins
+the cost separation.
+
+The acceptance target is a >= 10x write-cost win at 100k-key ranges.
+Measured values at this scale sit in the thousands (one op versus one
+per live key), so the floor has orders of magnitude of slack against CI
+machine noise.
+"""
+
+from repro.bench import experiments as ex
+from repro.bench.harness import ExperimentScale
+
+from benchmarks.conftest import emit
+
+# Enough inserts that the hottest tenant's live set is comfortably past
+# the 10x gate; the victim key range spans 2^17 = 131072 keys.
+RANGEDEL_BENCH_SCALE = ExperimentScale(num_inserts=6000, num_point_lookups=0)
+WIDE_TENANT_KEYS = 1 << 17
+
+
+def test_range_delete_beats_scan_and_tombstone(benchmark):
+    result = benchmark.pedantic(
+        lambda: ex.rangedel_experiment(
+            RANGEDEL_BENCH_SCALE, keys_per_tenant=WIDE_TENANT_KEYS
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    emit(result)
+
+    series = result.series
+    lo, hi = series["victim_range"]
+    assert hi - lo >= 100_000, (
+        f"victim range spans only {hi - lo} keys; the gate is for "
+        "100k-key ranges"
+    )
+
+    # The experiment raises internally if surfaces diverge; re-assert
+    # the recorded flags so a silent series regression cannot pass.
+    assert series["surface_identical"] is True
+    assert series["recovered_identical"] is True
+
+    # The acceptance gate: >= 10x cheaper on both acknowledged ingest
+    # operations and physical durable writes.
+    assert series["ops_ratio"] >= 10, (
+        f"range delete only {series['ops_ratio']:.1f}x cheaper in ops"
+    )
+    assert series["write_ratio"] >= 10, (
+        f"range delete only {series['write_ratio']:.1f}x cheaper in "
+        "durable writes"
+    )
+
+    # O(1) spelled out: the range-delete side's cost must not scale
+    # with the tenant's live set at all.
+    assert series["rangedel"]["ingest_ops"] == 1
+    assert series["rangedel"]["durable_writes"] <= 2
+    assert series["baseline"]["ingest_ops"] == series["live_keys_offboarded"]

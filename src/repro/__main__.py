@@ -56,6 +56,9 @@ _STANDALONE = {
     "serve": lambda scale, executor, quick: ex.serving_experiment(
         scale, quick=quick
     ),
+    "rangedel": lambda scale, executor, quick: ex.rangedel_experiment(
+        scale, quick=quick
+    ),
 }
 
 # Reduced scale for `--quick` (CI smoke): enough volume that flushes,
@@ -122,7 +125,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (fig6a..fig6l, fig1, table2, shard, parallel, "
-        "recovery, wal, compaction, metrics, serve), 'all', or 'list'",
+        "recovery, wal, compaction, metrics, serve, rangedel), 'all', or "
+        "'list'",
     )
     parser.add_argument(
         "--inserts",

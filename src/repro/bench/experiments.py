@@ -2260,3 +2260,205 @@ def serving_experiment(
         )
     )
     return ExperimentResult(figure="serve", series=series, report=report)
+
+
+# ======================================================================
+# Range deletes: tenant offboarding, one tombstone vs scan-and-delete
+# ======================================================================
+
+
+def rangedel_experiment(
+    scale: ExperimentScale = BENCH_SCALE,
+    n_tenants: int = 6,
+    keys_per_tenant: int = 1 << 14,
+    skew: float = 2.0,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Tenant offboarding: ``delete_range`` vs scan-and-tombstone.
+
+    Two identical durable engines are preloaded with the same skewed
+    multi-tenant stream, then the hottest tenant is offboarded two ways:
+
+    * **rangedel** — one ``delete_range(lo, hi)`` over the tenant's
+      keyspan: a single WAL append, O(1) ingest work regardless of how
+      many keys the tenant holds.
+    * **baseline** — the pre-range-tombstone recipe: scan the tenant's
+      slice for live keys, then issue one point delete per key. Ingest
+      cost is linear in the tenant's live set.
+
+    Both engines must converge to the *identical* full-keyspace scan
+    surface (asserted), and the rangedel engine is closed and reopened
+    to prove the tombstone survives recovery. A third, range-partitioned
+    cluster runs the same offboard to show the scatter path: only shards
+    owning a piece of ``[lo, hi)`` record a (clipped) fragment.
+
+    Durable writes are counted by an armed :class:`FaultInjector`
+    (``wal_commit_policy="every_op"`` so every acknowledged operation is
+    a physical append — the fairest accounting for the baseline, which
+    would otherwise hide its deletes inside one group commit).
+    """
+    import shutil as _shutil
+    import tempfile as _tempfile
+
+    if quick:
+        n_tenants = max(3, n_tenants // 2)
+    spec = MultiTenantSpec.skewed(
+        n_tenants=n_tenants,
+        keys_per_tenant=keys_per_tenant,
+        skew=skew,
+        num_inserts=scale.num_inserts,
+    )
+    ingest_ops = list(MultiTenantWorkload(spec).ingest_operations())
+    victim = spec.hottest()
+    lo, hi = victim.key_range
+    domain_hi = max(t.key_range[1] for t in spec.tenants)
+
+    def build(workdir: str) -> tuple[LSMEngine, FaultInjector]:
+        injector = FaultInjector(armed=True, record_labels=False)
+        engine = LSMEngine.open(
+            f"{workdir}/db",
+            config=lethe_config(
+                1e9,  # FADE far away: this experiment isolates write cost
+                delete_tile_pages=4,
+                wal_commit_policy="every_op",
+                **scale.engine_overrides(),
+            ),
+            injector=injector,
+        )
+        engine.ingest(ingest_ops)
+        engine.flush()
+        return engine, injector
+
+    def offboard_rangedel(engine: LSMEngine) -> int:
+        engine.delete_range(lo, hi)
+        return 1
+
+    def offboard_baseline(engine: LSMEngine) -> int:
+        doomed = [key for key, _ in engine.scan(lo, hi - 1)]
+        for key in doomed:
+            engine.delete(key)
+        return len(doomed)
+
+    rows = []
+    surfaces: dict[str, list] = {}
+    measured: dict[str, dict] = {}
+    strategies = (
+        ("rangedel", offboard_rangedel),
+        ("baseline", offboard_baseline),
+    )
+    rangedel_dir = None
+    try:
+        for name, offboard in strategies:
+            workdir = _tempfile.mkdtemp(prefix=f"lethe-rangedel-{name}-")
+            engine, injector = build(workdir)
+            writes_before = injector.writes
+            started = time.perf_counter()
+            ops = offboard(engine)
+            wall = time.perf_counter() - started
+            writes = injector.writes - writes_before
+            surfaces[name] = engine.scan(0, domain_hi)
+            assert engine.scan(lo, hi - 1) == [], (
+                f"{name}: offboarded tenant {victim.name} still has live keys"
+            )
+            measured[name] = {
+                "ingest_ops": ops,
+                "durable_writes": writes,
+                "wall_seconds": _round(wall),
+            }
+            rows.append([name, ops, writes, f"{wall*1e3:.2f}ms"])
+            if name == "rangedel":
+                # Keep the directory: the recovery check below reopens it.
+                engine.close()
+                rangedel_dir = workdir
+            else:
+                engine.close()
+                _shutil.rmtree(workdir, ignore_errors=True)
+
+        if surfaces["rangedel"] != surfaces["baseline"]:
+            raise AssertionError(
+                "rangedel and scan-and-tombstone offboarding diverged: "
+                f"{len(surfaces['rangedel'])} vs "
+                f"{len(surfaces['baseline'])} live keys"
+            )
+        # The single range tombstone must survive a restart: reopen the
+        # rangedel engine from disk and re-check the read surface.
+        recovered = LSMEngine.open(f"{rangedel_dir}/db")
+        recovered_surface = recovered.scan(0, domain_hi)
+        recovered.close()
+        if recovered_surface != surfaces["rangedel"]:
+            raise AssertionError(
+                "recovered engine lost the range tombstone: "
+                f"{len(recovered_surface)} vs {len(surfaces['rangedel'])} keys"
+            )
+    finally:
+        if rangedel_dir is not None:
+            _shutil.rmtree(rangedel_dir, ignore_errors=True)
+
+    # --- scatter: range-partitioned cluster, clipped per owning shard --
+    cluster = ShardedEngine(
+        lethe_config(1e9, delete_tile_pages=4, **scale.engine_overrides()),
+        partitioner=RangePartitioner(spec.split_points()),
+    )
+    try:
+        cluster.ingest(ingest_ops)
+        cluster.flush()  # drain buffers so only the offboard RT remains
+        cluster.delete_range(lo, hi)
+        owning = set(cluster.partitioner.shards_for_range(lo, hi - 1))
+        fragment_shards = {
+            index
+            for index, shard in enumerate(cluster.shards)
+            if shard.buffer.range_tombstones
+        }
+        if not fragment_shards <= owning:
+            raise AssertionError(
+                f"range delete scattered to non-owning shards: "
+                f"{sorted(fragment_shards - owning)} outside {sorted(owning)}"
+            )
+        cluster_surface = cluster.scan(0, domain_hi)
+        if cluster_surface != surfaces["rangedel"]:
+            raise AssertionError(
+                "sharded offboard diverged from single-engine rangedel: "
+                f"{len(cluster_surface)} vs {len(surfaces['rangedel'])} keys"
+            )
+    finally:
+        cluster.close()
+
+    ops_ratio = measured["baseline"]["ingest_ops"] / max(
+        1, measured["rangedel"]["ingest_ops"]
+    )
+    write_ratio = measured["baseline"]["durable_writes"] / max(
+        1, measured["rangedel"]["durable_writes"]
+    )
+    series = {
+        "victim_tenant": victim.name,
+        "victim_range": [lo, hi],
+        "live_keys_offboarded": measured["baseline"]["ingest_ops"],
+        "rangedel": measured["rangedel"],
+        "baseline": measured["baseline"],
+        "ops_ratio": _round(ops_ratio),
+        "write_ratio": _round(write_ratio),
+        "surface_identical": True,
+        "recovered_identical": True,
+        "sharded": {
+            "n_shards": cluster_n_shards(spec),
+            "owning_shards": sorted(owning),
+            "fragment_shards": sorted(fragment_shards),
+            "scatter_clipped": True,
+        },
+    }
+    report = format_table(
+        ["strategy", "ingest ops", "durable writes", "offboard wall"],
+        rows,
+        title=(
+            f"Offboard {victim.name} ({measured['baseline']['ingest_ops']} "
+            f"live keys of [{lo}, {hi})): ops ratio {ops_ratio:.0f}x, "
+            f"durable-write ratio {write_ratio:.0f}x, identical final "
+            "surface and recovered surface asserted"
+        ),
+    )
+    return ExperimentResult(figure="rangedel", series=series, report=report)
+
+
+def cluster_n_shards(spec: MultiTenantSpec) -> int:
+    """Shard count of the tenant-boundary range partition for ``spec``."""
+    return len(spec.split_points()) + 1

@@ -136,7 +136,16 @@ class CompactionExecutor:
         range_tombstones = [
             rt for f in participants for rt in f.range_tombstones
         ]
-        extra_cover = self._upper_level_cover(tree, task, participants)
+        eager_dropped: list[RangeTombstone] = []
+        if not into_last_level:
+            range_tombstones, eager_dropped = self._split_eager_droppable(
+                tree, task, participants, range_tombstones
+            )
+        # Eagerly dropped tombstones still act as *cover* for this merge —
+        # they delete older participant entries — but are not re-emitted.
+        extra_cover = (
+            self._upper_level_cover(tree, task, participants) + eager_dropped
+        )
 
         with self.obs.tracer.span(
             "compaction:merge",
@@ -181,13 +190,15 @@ class CompactionExecutor:
             compaction_entries_out=len(outcome.entries),
             invalid_entries_purged=outcome.invalid_entries_dropped,
             tombstones_dropped=len(outcome.dropped_tombstones)
-            + len(outcome.dropped_range_tombstones),
+            + len(outcome.dropped_range_tombstones)
+            + len(eager_dropped),
         )
         return PreparedCompaction(
             victims=victims,
             output_files=output_files,
             dropped_tombstones=list(outcome.dropped_tombstones),
-            dropped_range_tombstones=list(outcome.dropped_range_tombstones),
+            dropped_range_tombstones=list(outcome.dropped_range_tombstones)
+            + eager_dropped,
             source_peer_ids=source_peer_ids,
         )
 
@@ -316,6 +327,44 @@ class CompactionExecutor:
         # from the merged key range (they were not selected as victims), so
         # they cannot hide older versions. Multi-run targets can.
         return target.run_count == 1
+
+    def _split_eager_droppable(
+        self,
+        tree: LSMTree,
+        task: CompactionTask,
+        participants: list[RunFile],
+        range_tombstones: list[RangeTombstone],
+    ) -> tuple[list[RangeTombstone], list[RangeTombstone]]:
+        """Partition participant tombstones into (keep, eagerly droppable).
+
+        A range tombstone only exists to delete *older* versions of keys
+        in its span, and older versions live at the tombstone's level or
+        deeper. When no file outside this merge — at the source level or
+        below — overlaps the tombstone's span, everything the tombstone
+        could ever delete is inside this merge, so covering the merge is
+        the tombstone's last act and it need not be rewritten into the
+        output (RocksDB drops DeleteRange fragments the same way).
+
+        Evaluated at prepare time against a consistent read view; flushes
+        racing the merge only add strictly *newer* Level-1 runs above the
+        source level, which a participant tombstone can never cover, so
+        the answer cannot be invalidated mid-merge.
+        """
+        participant_ids = {id(f) for f in participants}
+        outside: list[RunFile] = []
+        for level_runs in tree.read_view()[task.source_level - 1 :]:
+            for run in level_runs:
+                outside.extend(
+                    f for f in run if id(f) not in participant_ids
+                )
+        keep: list[RangeTombstone] = []
+        droppable: list[RangeTombstone] = []
+        for rt in range_tombstones:
+            if any(rt.overlaps_keys(f.min_key, f.max_key) for f in outside):
+                keep.append(rt)
+            else:
+                droppable.append(rt)
+        return keep, droppable
 
     def _upper_level_cover(
         self, tree: LSMTree, task: CompactionTask, participants: list[RunFile]

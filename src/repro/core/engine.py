@@ -334,6 +334,21 @@ class LSMEngine:
         self.stats.range_tombstones_ingested += 1
         self._maybe_flush()
 
+    def delete_range(self, lo: Any, hi: Any) -> None:
+        """First-class primary-key range delete over ``[lo, hi)``.
+
+        The public spelling of :meth:`range_delete` with argument
+        validation: ``lo > hi`` is a caller error (the network protocol
+        rejects such frames before they reach an engine) and ``lo == hi``
+        denotes the empty interval, a no-op that consumes no seqnum and
+        writes nothing.
+        """
+        if lo > hi:
+            raise LetheError(f"delete_range: lo {lo!r} > hi {hi!r}")
+        if lo == hi:
+            return
+        self.range_delete(lo, hi)
+
     def secondary_range_delete(self, d_lo: Any, d_hi: Any) -> SecondaryDeleteReport:
         """Delete every entry whose *delete* key D lies in ``[d_lo, d_hi)``.
 
@@ -977,6 +992,7 @@ class LSMEngine:
             "put": self.put,
             "delete": self.delete,
             "range_delete": self.range_delete,
+            "delete_range": self.delete_range,
             "secondary_range_delete": self.secondary_range_delete,
             "get": self.get,
             "scan": self.scan,
@@ -1101,12 +1117,22 @@ class LSMEngine:
         """
         if isinstance(tombstone, Entry):
             index_key = ("p", tombstone.key, tombstone.seqnum)
+            with self._persistence_lock:
+                record = self._persistence_index.pop(index_key, None)
         elif isinstance(tombstone, RangeTombstone):
             index_key = ("r", tombstone.start, tombstone.end, tombstone.seqnum)
+            with self._persistence_lock:
+                record = self._persistence_index.pop(index_key, None)
+                if record is None:
+                    # Fragmentation rewrites a tombstone's bounds at every
+                    # flush/compaction; the seqnum it carries stays
+                    # engine-unique, so fall back to matching on it.
+                    for key in self._persistence_index:
+                        if key[0] == "r" and key[3] == tombstone.seqnum:
+                            record = self._persistence_index.pop(key)
+                            break
         else:  # pragma: no cover - defensive
             return
-        with self._persistence_lock:
-            record = self._persistence_index.pop(index_key, None)
         if record is not None and record.persisted_at is None:
             record.persisted_at = self.clock.now
 

@@ -114,6 +114,9 @@ class Statistics:
     bloom_hash_computations: int = 0
     bloom_false_positives: int = 0
     lookup_pages_read: int = 0
+    # Lookups answered from a range-tombstone block before any Bloom
+    # probe or file visit (the pre-Bloom short-circuit).
+    range_tombstone_skips: int = 0
 
     # --- secondary range deletes ----------------------------------------
     secondary_range_deletes: int = 0
@@ -276,6 +279,7 @@ class Statistics:
                     "bloom_hash_computations",
                     "bloom_false_positives",
                     "lookup_pages_read",
+                    "range_tombstone_skips",
                     "secondary_range_deletes",
                     "srd_pages_read",
                     "srd_pages_written",
@@ -296,3 +300,4 @@ class Statistics:
         self.bloom_hash_computations = 0
         self.bloom_false_positives = 0
         self.lookup_pages_read = 0
+        self.range_tombstone_skips = 0

@@ -16,6 +16,7 @@ from repro.core.config import EngineConfig
 from repro.core.stats import Statistics
 from repro.filters.fence import FencePointers
 from repro.kiwi.tile import DeleteTile
+from repro.lsm.range_tombstone import fragment
 from repro.lsm.runfile import FileMeta, LookupResult, RunFile
 from repro.storage.disk import SimulatedDisk
 from repro.storage.entry import Entry, RangeTombstone
@@ -36,7 +37,9 @@ class KiWiFile(RunFile):
         if not tiles and not range_tombstones:
             raise ValueError("a KiWiFile must contain tiles or range tombstones")
         self._tiles = tiles
-        self.range_tombstones = tuple(range_tombstones)
+        # Normalize to disjoint sorted fragments (idempotent when the
+        # builder already fragmented) so the read path can bisect.
+        self.range_tombstones = tuple(fragment(range_tombstones))
         self.meta = meta
         self._disk = disk
         self._stats = stats
@@ -87,8 +90,16 @@ class KiWiFile(RunFile):
         return self._tiles[tile_index].might_contain(key)
 
     def get(self, key: Any, charge_io: bool = True) -> LookupResult:
-        """Point lookup: tile fences on S, then per-page BFs inside the tile."""
+        """Point lookup: RT block, tile fences on S, then per-page BFs.
+
+        As in the classic layout, a covering range-tombstone fragment
+        that outranks the file's ``max_seqnum`` answers before any tile
+        fence or per-page Bloom filter is consulted.
+        """
         rt_seq = self.covering_rt_seqnum(key)
+        if self.shadows_whole_file(rt_seq):
+            self._stats.range_tombstone_skips += 1
+            return LookupResult(entry=None, covering_rt_seqnum=rt_seq)
         if not (self._min_key <= key <= self._max_key):
             return LookupResult(entry=None, covering_rt_seqnum=rt_seq)
         tile_index = self._fences.locate(key)

@@ -6,9 +6,13 @@ either classic :class:`~repro.lsm.sstable.SSTable` files or
 :class:`~repro.kiwi.layout.KiWiFile` files depending on the configured
 delete-tile granularity (``h = 1`` → classic, ``h > 1`` → KiWi).
 
-Range tombstones are attached to the file whose sort-key span contains
-their start (and widen that file's bounds), mirroring how RocksDB stores
-range tombstones in the range-tombstone block of a concrete file.
+Range tombstones are **fragmented** before they are attached
+(:mod:`repro.lsm.range_tombstone`): overlapping tombstones collapse into
+disjoint, sort-ordered fragments, and a fragment straddling a file
+boundary is clipped so each file carries exactly the pieces inside its
+own key span — RocksDB's DeleteRange fragmentation at flush/compaction
+time. Every file's range-tombstone block is therefore disjoint and
+sorted, which is what lets the read path bisect it.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from typing import Any
 from repro.core.config import EngineConfig
 from repro.core.stats import Statistics
 from repro.kiwi.layout import build_kiwi_file
+from repro.lsm.range_tombstone import clip, fragment
 from repro.lsm.runfile import RunFile
 from repro.lsm.sstable import build_sstable
 from repro.storage.disk import SimulatedDisk
@@ -50,25 +55,24 @@ def build_run(
 
     build_file = build_kiwi_file if config.kiwi_enabled else build_sstable
 
-    # Slice entries into file-sized chunks first, then route each range
-    # tombstone to the chunk that owns its start key (or the last chunk).
+    # Slice entries into file-sized chunks first, then fragment the
+    # tombstone set and clip the fragments at each chunk's first key, so
+    # every file carries the disjoint sorted pieces inside its own span.
     chunks: list[list[Entry]] = []
     for start in range(0, len(entries), config.file_entries):
         chunks.append(entries[start : start + config.file_entries])
     if not chunks:
         chunks = [[]]
 
-    per_chunk_rts: list[list[RangeTombstone]] = [[] for _ in chunks]
-    for rt in sorted(range_tombstones, key=lambda r: (r.start, r.seqnum)):
-        target = len(chunks) - 1
-        for index, chunk in enumerate(chunks):
-            if not chunk:
-                continue
-            last_key = chunk[-1].key
-            if rt.start <= last_key or index == len(chunks) - 1:
-                target = index
-                break
-        per_chunk_rts[target].append(rt)
+    fragments = fragment(range_tombstones)
+    # Window i is [first_key(chunk i), first_key(chunk i+1)), unbounded at
+    # both extremes; every chunk except a lone empty one has entries.
+    boundaries = [chunk[0].key for chunk in chunks[1:]]
+    per_chunk_rts: list[list[RangeTombstone]] = []
+    for index in range(len(chunks)):
+        lo = boundaries[index - 1] if index > 0 else None
+        hi = boundaries[index] if index < len(boundaries) else None
+        per_chunk_rts.append(clip(fragments, lo, hi))
 
     files: list[RunFile] = []
     for chunk, rts in zip(chunks, per_chunk_rts):

@@ -1,0 +1,177 @@
+"""Fragmented primary-key range tombstones.
+
+Lethe's KiWi makes *secondary*-key range deletes cheap; deleting a
+contiguous *sort-key* interval (a tenant, a retention window) previously
+cost a scan plus one point tombstone per live key. This module gives the
+engine first-class range tombstones in the style of RocksDB's
+DeleteRange ("Don't Forget Range Delete!", Wang et al.): the raw
+tombstones accumulated in a buffer or collected from merged runs are
+**fragmented** into disjoint, sort-ordered pieces before they are
+written into a run, so the read path can binary-search one flat list
+instead of scanning arbitrarily overlapping intervals.
+
+Fragmentation contract
+----------------------
+``fragment(tombstones)`` returns disjoint fragments, sorted by start,
+whose *coverage* is identical to the input's::
+
+    covered(key, seqnum) = any(rt.covers(key, seqnum) for rt in input)
+                         = any(fr.covers(key, seqnum) for fr in output)
+
+Each elementary interval between two consecutive endpoints becomes at
+most one fragment stamped with the **max** seqnum of the tombstones
+overlapping it — ``covers`` tests ``seqnum < rt.seqnum``, so the max
+preserves the union's coverage exactly. The fragment's ``write_time`` is
+the **min** of its contributors: FADE ages a file by its oldest
+tombstone (``amax``), and an old delete intent must not get younger by
+being merged with a newer overlapping one. Adjacent fragments that touch
+and carry the same seqnum are coalesced (their union is one interval
+with identical coverage), so repeated re-fragmentation is idempotent:
+``fragment(fragment(x)) == fragment(x)``.
+
+The helpers below are the only range-tombstone arithmetic in the tree:
+the builder fragments at file boundaries (:func:`clip`), the read path
+binary-searches fragments (:func:`covering_seqnum`), the compaction
+executor decides eager drops (:func:`overlapping`), and the sharded
+engine scatters one logical delete as per-shard clipped intervals
+(:meth:`~repro.shard.partitioner.RangePartitioner.clip_range`).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterable, Sequence
+
+from repro.storage.entry import RangeTombstone
+
+
+def fragment(tombstones: Iterable[RangeTombstone]) -> list[RangeTombstone]:
+    """Split overlapping tombstones into disjoint, sorted fragments.
+
+    See the module docstring for the coverage contract. Returns a new
+    list; the input is not mutated. Already-disjoint sorted input with
+    no coalescable neighbours comes back equal to itself.
+    """
+    tombstones = list(tombstones)
+    if not tombstones:
+        return []
+    if len(tombstones) == 1:
+        return [tombstones[0]]
+
+    endpoints = sorted({rt.start for rt in tombstones} | {rt.end for rt in tombstones})
+    by_start = sorted(tombstones, key=lambda rt: (rt.start, -rt.seqnum))
+    fragments: list[RangeTombstone] = []
+    # Sweep the elementary intervals left to right, keeping the set of
+    # tombstones whose span covers the current interval.
+    active: list[RangeTombstone] = []
+    cursor = 0
+    for lo, hi in zip(endpoints, endpoints[1:]):
+        while cursor < len(by_start) and by_start[cursor].start <= lo:
+            active.append(by_start[cursor])
+            cursor += 1
+        active = [rt for rt in active if rt.end > lo]
+        if not active:
+            continue
+        winner = max(active, key=lambda rt: rt.seqnum)
+        write_time = min(rt.write_time for rt in active)
+        previous = fragments[-1] if fragments else None
+        if (
+            previous is not None
+            and previous.end == lo
+            and previous.seqnum == winner.seqnum
+        ):
+            fragments[-1] = RangeTombstone(
+                start=previous.start,
+                end=hi,
+                seqnum=previous.seqnum,
+                size=previous.size,
+                write_time=min(previous.write_time, write_time),
+            )
+        else:
+            fragments.append(
+                RangeTombstone(
+                    start=lo,
+                    end=hi,
+                    seqnum=winner.seqnum,
+                    size=winner.size,
+                    write_time=write_time,
+                )
+            )
+    return fragments
+
+
+def clip(
+    tombstones: Iterable[RangeTombstone], lo: Any, hi: Any
+) -> list[RangeTombstone]:
+    """Intersect each tombstone with the half-open window ``[lo, hi)``.
+
+    ``lo=None`` / ``hi=None`` leave that side unbounded. Tombstones that
+    fall entirely outside the window are dropped; straddling ones are
+    narrowed, keeping their seqnum/write_time (the delete intent's
+    identity). Input order is preserved.
+    """
+    clipped: list[RangeTombstone] = []
+    for rt in tombstones:
+        start = rt.start if lo is None or rt.start >= lo else lo
+        end = rt.end if hi is None or rt.end <= hi else hi
+        if not start < end:
+            continue
+        if start == rt.start and end == rt.end:
+            clipped.append(rt)
+        else:
+            clipped.append(
+                RangeTombstone(
+                    start=start,
+                    end=end,
+                    seqnum=rt.seqnum,
+                    size=rt.size,
+                    write_time=rt.write_time,
+                )
+            )
+    return clipped
+
+
+def covering_seqnum(
+    fragments: Sequence[RangeTombstone], key: Any
+) -> int | None:
+    """Seqnum of the fragment covering ``key``, or ``None``.
+
+    ``fragments`` must be disjoint and sorted by start (the shape
+    :func:`fragment` produces and run files store) — one bisection
+    replaces the linear scan over arbitrary intervals.
+    """
+    if not fragments:
+        return None
+    index = bisect_right(fragments, key, key=lambda rt: rt.start) - 1
+    if index < 0:
+        return None
+    candidate = fragments[index]
+    if candidate.start <= key < candidate.end:
+        return candidate.seqnum
+    return None
+
+
+def max_covering_seqnum(
+    tombstones: Iterable[RangeTombstone], key: Any
+) -> int | None:
+    """Largest seqnum among (possibly overlapping) tombstones over ``key``."""
+    best: int | None = None
+    for rt in tombstones:
+        if rt.start <= key < rt.end and (best is None or rt.seqnum > best):
+            best = rt.seqnum
+    return best
+
+
+def overlapping(
+    tombstones: Iterable[RangeTombstone], lo: Any, hi: Any
+) -> list[RangeTombstone]:
+    """Tombstones intersecting the closed key interval ``[lo, hi]``."""
+    return [rt for rt in tombstones if rt.overlaps_keys(lo, hi)]
+
+
+def is_fragmented(tombstones: Sequence[RangeTombstone]) -> bool:
+    """True when ``tombstones`` are disjoint and sorted by start."""
+    for previous, current in zip(tombstones, tombstones[1:]):
+        if current.start < previous.end:
+            return False
+    return True

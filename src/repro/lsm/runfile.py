@@ -201,16 +201,25 @@ class RunFile(abc.ABC):
         return self.min_key <= key <= self.max_key
 
     def covering_rt_seqnum(self, key: Any) -> int | None:
-        """Largest seqnum of a range tombstone in this file covering ``key``.
+        """Seqnum of the range-tombstone fragment covering ``key``, if any.
 
         Range-tombstone blocks are in-memory metadata (the paper's deleted
-        -range histogram, §3.1.1), so this costs no I/O.
+        -range histogram, §3.1.1), so this costs no I/O. The builder
+        fragments every file's block into disjoint sorted pieces, so one
+        bisection answers the question.
         """
-        best: int | None = None
-        for rt in self.range_tombstones:
-            if rt.start <= key < rt.end and (best is None or rt.seqnum > best):
-                best = rt.seqnum
-        return best
+        from repro.lsm.range_tombstone import covering_seqnum
+
+        return covering_seqnum(self.range_tombstones, key)
+
+    def shadows_whole_file(self, rt_seqnum: int | None) -> bool:
+        """True when a covering tombstone of ``rt_seqnum`` outranks every
+        entry this file could hold — the pre-Bloom short-circuit test.
+
+        Seqnums are engine-unique, so ``rt_seqnum >= meta.max_seqnum``
+        means every entry in the file is strictly older than the delete.
+        """
+        return rt_seqnum is not None and rt_seqnum >= self.meta.max_seqnum
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -14,6 +14,7 @@ from repro.core.config import EngineConfig
 from repro.core.stats import Statistics
 from repro.filters.bloom import BloomFilter
 from repro.filters.fence import FencePointers
+from repro.lsm.range_tombstone import fragment
 from repro.lsm.runfile import FileMeta, LookupResult, RunFile
 from repro.storage.disk import SimulatedDisk
 from repro.storage.entry import Entry, RangeTombstone
@@ -41,7 +42,9 @@ class SSTable(RunFile):
         if not pages and not range_tombstones:
             raise ValueError("an SSTable must contain entries or range tombstones")
         self._pages = pages
-        self.range_tombstones = tuple(range_tombstones)
+        # Normalize to disjoint sorted fragments (idempotent when the
+        # builder already fragmented) so the read path can bisect.
+        self.range_tombstones = tuple(fragment(range_tombstones))
         self.meta = meta
         self._bloom = bloom
         self._fences = fences
@@ -96,8 +99,17 @@ class SSTable(RunFile):
         return self._bloom.might_contain(key)
 
     def get(self, key: Any, charge_io: bool = True) -> LookupResult:
-        """Point lookup: file BF → fence pointers → at most one page read."""
+        """Point lookup: RT block → file BF → fences → at most one page read.
+
+        The range-tombstone block is consulted *before* the Bloom filter:
+        when the covering fragment outranks the file's ``max_seqnum``,
+        every version the file could hold is already deleted and the
+        probe (hash computations, false-positive risk) is skipped.
+        """
         rt_seq = self.covering_rt_seqnum(key)
+        if self.shadows_whole_file(rt_seq):
+            self._stats.range_tombstone_skips += 1
+            return LookupResult(entry=None, covering_rt_seqnum=rt_seq)
         if not (self._min_key <= key <= self._max_key):
             return LookupResult(entry=None, covering_rt_seqnum=rt_seq)
         if not self._bloom.might_contain(key):

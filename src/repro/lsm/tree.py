@@ -142,6 +142,12 @@ class LSMTree:
                 for run_file in run:
                     if not (run_file.min_key <= key <= run_file.max_key):
                         continue
+                    if run_file.shadows_whole_file(max_rt_seq):
+                        # A covering fragment from a shallower (newer)
+                        # level already outranks every entry this file
+                        # could hold: skip its filters entirely.
+                        self.stats.range_tombstone_skips += 1
+                        continue
                     result = run_file.get(key, charge_io=charge_io)
                     if result.covering_rt_seqnum is not None and (
                         max_rt_seq is None

@@ -94,6 +94,11 @@ class LetheClient:
     def range_delete(self, start: int, end: int) -> None:
         self._call(("range_delete", start, end))
 
+    def delete_range(self, lo: int, hi: int) -> None:
+        """Validated range delete over ``[lo, hi)`` (``lo <= hi`` enforced
+        client-side by the codec, again server-side on decode)."""
+        self._call(("delete_range", lo, hi))
+
     def scan(self, lo: int, hi: int) -> list[tuple[int, Any]]:
         return self._call(("scan", lo, hi))
 
@@ -153,6 +158,10 @@ class Pipeline:
 
     def delete(self, key: int) -> "Pipeline":
         self._ops.append(("delete", key))
+        return self
+
+    def delete_range(self, lo: int, hi: int) -> "Pipeline":
+        self._ops.append(("delete_range", lo, hi))
         return self
 
     def scan(self, lo: int, hi: int) -> "Pipeline":

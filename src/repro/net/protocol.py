@@ -16,6 +16,7 @@ Request bodies (all integers little-endian)::
     GET                    key(8B)
     DELETE                 key(8B)
     RANGE_DELETE           start(8B) end(8B)
+    DELETE_RANGE           lo(8B) hi(8B)       # validated: lo <= hi
     SCAN                   lo(8B) hi(8B)
     SECONDARY_RANGE_LOOKUP dlo(8B) dhi(8B)
     FLUSH                  (empty)
@@ -65,6 +66,7 @@ REQ_SCAN = 0x05
 REQ_SECONDARY_RANGE_LOOKUP = 0x06
 REQ_FLUSH = 0x07
 REQ_PING = 0x08
+REQ_DELETE_RANGE = 0x09
 
 # Response tags (high bit set).
 RESP_OK = 0x81
@@ -142,6 +144,12 @@ def encode_request(op: tuple) -> bytes:
     if kind == "range_delete":
         body = _PAIR_RANGE.pack(_check_key("keys", op[1]), _check_key("keys", op[2]))
         return frame(bytes([REQ_RANGE_DELETE]) + body)
+    if kind == "delete_range":
+        lo = _check_key("keys", op[1])
+        hi = _check_key("keys", op[2])
+        if lo > hi:
+            raise ProtocolError(f"delete_range: lo {lo} > hi {hi}")
+        return frame(bytes([REQ_DELETE_RANGE]) + _PAIR_RANGE.pack(lo, hi))
     if kind == "scan":
         body = _PAIR_RANGE.pack(_check_key("keys", op[1]), _check_key("keys", op[2]))
         return frame(bytes([REQ_SCAN]) + body)
@@ -183,12 +191,22 @@ def decode_request(payload: bytes) -> tuple:
                 raise ProtocolError("bad key body length")
             (key,) = _KEY.unpack(body)
             return ("get" if tag == REQ_GET else "delete", key)
-        if tag in (REQ_RANGE_DELETE, REQ_SCAN, REQ_SECONDARY_RANGE_LOOKUP):
+        if tag in (
+            REQ_RANGE_DELETE,
+            REQ_DELETE_RANGE,
+            REQ_SCAN,
+            REQ_SECONDARY_RANGE_LOOKUP,
+        ):
             if len(body) != _PAIR_RANGE.size:
                 raise ProtocolError("bad range body length")
             lo, hi = _PAIR_RANGE.unpack(body)
+            if tag == REQ_DELETE_RANGE and lo > hi:
+                # An inverted interval is adversarial input, not an op
+                # the engine should see: fail the frame, not the server.
+                raise ProtocolError(f"delete_range: lo {lo} > hi {hi}")
             kind = {
                 REQ_RANGE_DELETE: "range_delete",
+                REQ_DELETE_RANGE: "delete_range",
                 REQ_SCAN: "scan",
                 REQ_SECONDARY_RANGE_LOOKUP: "secondary_range_lookup",
             }[tag]

@@ -59,7 +59,9 @@ from repro.net.protocol import (
 
 # Request kinds that flow through the shared ingest session (everything
 # the router can put in a stream without needing a value back).
-_WRITE_KINDS = frozenset({"put", "delete", "range_delete", "flush"})
+_WRITE_KINDS = frozenset(
+    {"put", "delete", "range_delete", "delete_range", "flush"}
+)
 
 _EOF = ("__eof__",)
 

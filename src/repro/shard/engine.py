@@ -656,14 +656,44 @@ class ShardedEngine:
                 return topology.shards[index].delete(key)
 
     def range_delete(self, start: Any, end: Any) -> None:
-        """Sort-key range delete ``[start, end)`` on every overlapping shard."""
+        """Sort-key range delete ``[start, end)`` on every overlapping shard.
+
+        The interval is *clipped* to each shard's keyspan before dispatch
+        (:meth:`~repro.shard.partitioner.Partitioner.clip_range`): a range
+        partitioner's members record tombstones only over keys they own,
+        so a cluster-wide delete does not leave every member dragging a
+        full-width fragment through its compactions. Hash placement
+        scatters keys, so there the whole interval goes to every shard.
+        """
         with self._gate.shared():
             topology = self._topology
-            self._fan_out(
-                topology,
-                topology.partitioner.shards_for_range(start, end),
-                lambda shard: shard.range_delete(start, end),
-            )
+            partitioner = topology.partitioner
+            tasks: list[Callable[[], Any]] = []
+            for index in partitioner.shards_for_range(start, end):
+                lo, hi = partitioner.clip_range(index, start, end)
+                if lo >= hi:
+                    continue  # routed over-inclusively; nothing owned here
+                lock = topology.locks[index]
+                shard = topology.shards[index]
+
+                def task(lock=lock, shard=shard, lo=lo, hi=hi) -> None:
+                    with lock:
+                        shard.range_delete(lo, hi)
+
+                tasks.append(task)
+            self.executor.run(tasks)
+
+    def delete_range(self, lo: Any, hi: Any) -> None:
+        """First-class range delete ``[lo, hi)`` (validated public form).
+
+        Mirrors :meth:`LSMEngine.delete_range`: ``lo > hi`` is a caller
+        error, ``lo == hi`` an empty-interval no-op.
+        """
+        if lo > hi:
+            raise LetheError(f"delete_range: lo {lo!r} > hi {hi!r}")
+        if lo == hi:
+            return
+        self.range_delete(lo, hi)
 
     def secondary_range_delete(self, d_lo: Any, d_hi: Any) -> SecondaryDeleteReport:
         """Scatter-gather delete on the secondary key: all shards, summed bill."""
@@ -820,6 +850,7 @@ class ShardedEngine:
         """Dispatch one multi-shard (barrier) operation from a stream."""
         barrier_dispatch = {
             "range_delete": self.range_delete,
+            "delete_range": self.delete_range,
             "scan": self.scan,
             "secondary_range_delete": self.secondary_range_delete,
             "secondary_range_lookup": self.secondary_range_lookup,
@@ -912,6 +943,13 @@ class ShardedEngine:
             # flush must not re-enqueue an engine whose directory is
             # about to be deleted (its hooks become no-ops).
             self.scheduler.unregister(retiring)
+            # The migration flush consumes the buffer, and the full scan
+            # applies (then discards) any in-flight range tombstones.
+            # Snapshot them first: their delete *intent* — FADE aging,
+            # persistence accounting, cover for anything re-introduced
+            # later — must survive into the children, re-fragmented at
+            # the split key.
+            pending_rts = list(retiring.buffer.range_tombstones)
             survivors = _live_entries(retiring)
             self._retired_stats.merge(retiring.stats)
 
@@ -941,6 +979,17 @@ class ShardedEngine:
                 store=right_store,
                 scheduler=self.scheduler,
             )
+            # Re-issue the snapshotted tombstones *before* the entry
+            # migration: each child records its clipped piece with a
+            # seqnum older than every migrated put, so carried intent
+            # can never delete the survivors re-ingested after it.
+            for rt in pending_rts:
+                left_hi = rt.end if rt.end < split_key else split_key
+                if rt.start < left_hi:
+                    left.range_delete(rt.start, left_hi)
+                right_lo = rt.start if rt.start > split_key else split_key
+                if right_lo < rt.end:
+                    right.range_delete(right_lo, rt.end)
             # Migrate into the fresh engines before publishing them: the
             # new members enter the topology fully populated.
             for entry in survivors:
@@ -994,6 +1043,13 @@ class ShardedEngine:
             # validation keeps the old cluster.
             for shard in topology.shards:
                 self.scheduler.unregister(shard)
+            # As in split(): snapshot in-flight range tombstones before
+            # the collection flushes consume them.
+            pending_rts = [
+                rt
+                for shard in topology.shards
+                for rt in shard.buffer.range_tombstones
+            ]
             survivors: list[Entry] = []
             per_shard = self.executor.run(
                 [
@@ -1038,6 +1094,13 @@ class ShardedEngine:
                         scheduler=self.scheduler,
                     )
                 )
+            # Carried tombstones first (older seqnums than every migrated
+            # put), clipped to each new owner's keyspan — as in split().
+            for rt in pending_rts:
+                for index in new_partitioner.shards_for_range(rt.start, rt.end):
+                    lo, hi = new_partitioner.clip_range(index, rt.start, rt.end)
+                    if lo < hi:
+                        new_shards[index].range_delete(lo, hi)
             # Migrate before publishing, as in split().
             for entry in survivors:
                 new_shards[new_partitioner.shard_for(entry.key)].put(

@@ -68,6 +68,17 @@ class Partitioner(ABC):
     def all_shards(self) -> tuple[int, ...]:
         return tuple(range(self.n_shards))
 
+    def clip_range(self, index: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        """Intersect half-open ``[lo, hi)`` with shard ``index``'s keyspan.
+
+        The identity for partitioners without contiguous ownership (hash
+        placement scatters every range whole); range partitioners narrow
+        the interval so each shard records a tombstone only over keys it
+        actually owns — keeping fan-out range deletes from leaving
+        cluster-wide fragments on every member.
+        """
+        return lo, hi
+
     def describe(self) -> str:
         return f"{type(self).__name__}(n_shards={self.n_shards})"
 
@@ -163,6 +174,14 @@ class RangePartitioner(Partitioner):
         low = self.split_points[index - 1] if index > 0 else None
         high = self.split_points[index] if index < len(self.split_points) else None
         return low, high
+
+    def clip_range(self, index: int, lo: Any, hi: Any) -> tuple[Any, Any]:
+        low, high = self.shard_bounds(index)
+        clipped_lo = lo if low is None else max(lo, low)
+        clipped_hi = hi if high is None else min(hi, high)
+        if clipped_hi < clipped_lo:  # disjoint: empty interval at lo's edge
+            return clipped_lo, clipped_lo
+        return clipped_lo, clipped_hi
 
     def with_split(self, split_key: Any) -> "RangePartitioner":
         """A new partitioner with ``split_key`` added as a split point."""

@@ -27,7 +27,7 @@ from repro.shard.partitioner import Partitioner
 # positions carrying sort keys: single-key ops route by one key, range
 # ops by a key interval, broadcast ops by nothing at all.
 POINT_OPS = {"put": 1, "delete": 1, "get": 1}
-RANGE_OPS = {"range_delete": (1, 2), "scan": (1, 2)}
+RANGE_OPS = {"range_delete": (1, 2), "delete_range": (1, 2), "scan": (1, 2)}
 BROADCAST_OPS = frozenset(
     {"secondary_range_delete", "secondary_range_lookup", "flush", "advance_time"}
 )

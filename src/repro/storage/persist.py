@@ -171,10 +171,11 @@ class FaultInjector:
     def before_write(self, label: str) -> None:
         """Called immediately before every physical write, with a label
         naming the boundary (``wal-append[n]`` with the batch's record
-        count, ``wal-rewrite``, ``run-blob``, ``run-delta``, ``manifest``,
-        ``wal-purge``, ``blob-prune``, ``clock``, ``config``,
-        ``manifest-snapshot``, ``topology``, ``torn-truncate``,
-        ``tmp-sweep``)."""
+        count — ``wal-append-rt[n]`` when the batch carries a range
+        tombstone — ``wal-rewrite``, ``run-blob``, ``run-blob-rt``,
+        ``run-delta``, ``manifest``, ``wal-purge``, ``blob-prune``,
+        ``clock``, ``config``, ``manifest-snapshot``, ``topology``,
+        ``torn-truncate``, ``tmp-sweep``)."""
         if not self.armed:
             return
         with self._lock:
@@ -281,7 +282,14 @@ class _SegmentAppender:
     pending record (drives ``interval(ms)`` policies).
     """
 
-    __slots__ = ("path", "handle", "pending", "pending_records", "pending_opened_at")
+    __slots__ = (
+        "path",
+        "handle",
+        "pending",
+        "pending_records",
+        "pending_opened_at",
+        "pending_has_rt",
+    )
 
     def __init__(self, path: Path):
         self.path = path
@@ -289,6 +297,10 @@ class _SegmentAppender:
         self.pending = bytearray()
         self.pending_records = 0
         self.pending_opened_at: float | None = None
+        # A batch carrying at least one range-tombstone record is its own
+        # enumerable crash boundary (``wal-append-rt[n]``): the crash
+        # suites prove exact recovery at the range-delete append.
+        self.pending_has_rt = False
 
     def close(self) -> None:
         if self.handle is not None:
@@ -531,6 +543,8 @@ class DurableStore:
                 self._appenders[segment.segment_id] = appender
             appender.pending += frame_bytes(_encode_wal_record(record))
             appender.pending_records += 1
+            if isinstance(record.payload, RangeTombstone):
+                appender.pending_has_rt = True
             if appender.pending_opened_at is None:
                 appender.pending_opened_at = record.written_at
             if self._policy.timer_driven:
@@ -608,7 +622,8 @@ class DurableStore:
                     "wal-commit", segment=segment_id, records=records
                 ):
                     started = time.perf_counter() if obs.enabled else 0.0
-                    self.injector.before_write(f"wal-append[{records}]")
+                    tag = "wal-append-rt" if appender.pending_has_rt else "wal-append"
+                    self.injector.before_write(f"{tag}[{records}]")
                     if appender.handle is None:
                         appender.handle = open(appender.path, "ab")
                     appender.handle.write(bytes(appender.pending))
@@ -617,6 +632,7 @@ class DurableStore:
                     appender.pending = bytearray()
                     appender.pending_records = 0
                     appender.pending_opened_at = None
+                    appender.pending_has_rt = False
                 if obs.enabled:
                     obs.wal_commit_latency.record(time.perf_counter() - started)
                     obs.wal_commit_batch_records.record(records)
@@ -883,10 +899,14 @@ class DurableStore:
 
     def _write_run(self, run_file: Any, generation: int) -> None:
         blob = _encode_run(run_file)
+        # A blob carrying range-tombstone fragments is its own boundary:
+        # the crash suites enumerate the fragment rewrite at compaction
+        # commit separately from plain run materialization.
+        label = "run-blob-rt" if run_file.range_tombstones else "run-blob"
         self._write_atomic(
             self._run_path(run_file.meta.file_number, generation),
             blob,
-            label="run-blob",
+            label=label,
         )
 
     def _append_run_delta(self, run_file: Any, generation: int) -> bool:

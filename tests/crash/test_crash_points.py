@@ -37,6 +37,8 @@ def deterministic_ops() -> list[tuple]:
             ops.append(("delete", (i * 3) % 13))
         if i % 11 == 5:
             ops.append(("range_delete", 2, 4))
+        if i % 13 == 6:
+            ops.append(("delete_range", 5, 3))
         if i % 9 == 7:
             ops.append(("srd", 10, 25))
         if i == 12:
@@ -169,3 +171,81 @@ def test_wal_rewrite_is_a_distinct_enumerable_crash_point():
             assert_dth_invariant(run.recovered, context)
             engine, model = continue_after_recovery(run)
             assert engine_surface(engine) == model_surface(model)
+
+
+# ---------------------------------------------------------------------------
+# Range-tombstone write boundaries, targeted by their own labels
+# ---------------------------------------------------------------------------
+
+
+def _rangedel_config():
+    return lethe_config(0.5, delete_tile_pages=4, **dict(
+        buffer_pages=4,
+        page_entries=4,
+        file_pages=8,
+        size_ratio=4,
+        ingestion_rate=1024.0,
+        fsync=False,
+    ))
+
+
+def rangedel_ops() -> list[tuple]:
+    """A sequence crossing both range-tombstone write boundaries:
+    the WAL append of the tombstone record itself (``wal-append-rt``)
+    and a run-blob write carrying fragments (``run-blob-rt``)."""
+    ops: list[tuple] = [("put", i % 13, i * 4 % 120) for i in range(10)]
+    ops.append(("delete_range", 2, 5))
+    ops.extend(("put", (i * 3) % 13, i * 5 % 120) for i in range(6))
+    ops.append(("flush",))  # fragments ride the flushed run's blob
+    ops.append(("delete_range", 0, 3))
+    ops.append(("flush",))
+    return ops
+
+
+def _enumerate_label(prefix: str) -> list[int]:
+    ops = rangedel_ops()
+    labels = trace_crash_points(ops, _rangedel_config).labels
+    points = [
+        index for index, label in enumerate(labels)
+        if label.startswith(prefix)
+    ]
+    assert points, (
+        f"the sequence never crossed a {prefix} boundary: {labels}"
+    )
+    return points
+
+
+def _check_exact_recovery(points: list[int], context_prefix: str) -> None:
+    ops = rangedel_ops()
+    for crash_at in points:
+        with tempfile.TemporaryDirectory() as tmp:
+            run = run_crash(ops, _rangedel_config, crash_at, tmp)
+            assert run.crashed, f"[{context_prefix}@{crash_at}] never fired"
+            context = f"{context_prefix}@{crash_at}"
+            assert_recovery_matches_model(run, context)
+            assert_dth_invariant(run.recovered, context)
+            engine, model = continue_after_recovery(run)
+            assert engine_surface(engine) == model_surface(model), (
+                f"[{context}] recovered engine diverged while serving "
+                "the remainder of the sequence"
+            )
+
+
+def test_range_tombstone_wal_append_is_a_distinct_crash_point():
+    """Killing the backend at every ``wal-append-rt`` boundary — the
+    durable write of the range-tombstone WAL record — recovers exactly:
+    either the delete never happened or it happened whole. The suffixed
+    label keeps RT appends distinguishable from ordinary appends while
+    sharing their batch-count convention."""
+    points = _enumerate_label("wal-append-rt")
+    _check_exact_recovery(points, "wal-append-rt")
+
+
+def test_range_tombstone_run_blob_is_a_distinct_crash_point():
+    """Killing the backend at every ``run-blob-rt`` boundary — a run
+    blob whose range-tombstone block is non-empty, i.e. the fragment
+    rewrite at flush/compaction commit — recovers exactly. A torn blob
+    must lose the whole flush (the WAL still holds the records), never
+    resurrect keys the fragments covered."""
+    points = _enumerate_label("run-blob-rt")
+    _check_exact_recovery(points, "run-blob-rt")

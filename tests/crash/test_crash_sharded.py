@@ -242,6 +242,64 @@ def test_mid_reshard_crash_recovers_consistent_topology(reshard):
             )
 
 
+def test_mid_split_crash_with_straddling_range_tombstone():
+    """Kill the backend at every boundary of a split whose retiring
+    shard holds an un-flushed range tombstone straddling the split key.
+
+    Resharding is content-invariant, so whichever topology recovery
+    lands on, the tombstone's coverage must hold whole: every covered
+    key reads ``None``, every other key its pre-split value — a crash
+    can never leave one child with the delete and the other without its
+    clipped piece."""
+    preload = [("put", key % KEY_SPACE, key % 120) for key in range(90)]
+    # [22, 38) sits inside shard 1's span [20, 40) and straddles the
+    # split key 30 — both children must inherit a clipped piece.
+    rt_op = ("range_delete", 22, 16)
+
+    def build(path, injector):
+        cluster = make_cluster(path, injector)
+        model: dict = {}
+        counter = [0]
+        for op in preload:
+            apply_cluster_op(cluster, model, op, counter)
+        apply_cluster_op(cluster, model, rt_op, counter)
+        return cluster, model
+
+    with tempfile.TemporaryDirectory() as tmp:
+        counting = FaultInjector(armed=False)
+        cluster, model = build(tmp + "/c", counting)
+        counting.armed = True
+        cluster.split(1, 30)
+        total = counting.writes
+    assert total > 5
+
+    expected = None
+    for crash_at in range(total):
+        with tempfile.TemporaryDirectory() as tmp:
+            injector = CrashPoint(crash_at, armed=False)
+            cluster, model = build(tmp + "/c", injector)
+            if expected is None:
+                expected = {
+                    key: (model[key][0] if key in model else None)
+                    for key in range(KEY_SPACE)
+                }
+                assert all(
+                    expected[key] is None for key in range(22, 38)
+                ), "preload should leave the straddling span covered"
+            injector.armed = True
+            try:
+                cluster.split(1, 30)
+                crashed = False
+            except SimulatedCrash:
+                crashed = True
+            assert crashed, f"crash point {crash_at} never fired"
+            recovered = ShardedEngine.open(tmp + "/c")
+            assert reads(recovered) == expected, f"crash@{crash_at}"
+            assert recovered.scan(0, KEY_SPACE) == sorted(
+                (k, v) for k, v in expected.items() if v is not None
+            )
+
+
 def test_torn_topology_tail_is_truncated_before_resharding():
     """A torn TOPOLOGY.log tail must not swallow the next reshard's
     commit record: open() truncates it so appends resume cleanly."""

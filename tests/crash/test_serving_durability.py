@@ -127,6 +127,85 @@ def test_acknowledged_writes_survive_server_kill(
             recovered.close()
 
 
+DR_LO, DR_HI = 10, 30
+DR_PRELOAD = 40       # puts 0..39 precede the range delete
+DR_TAIL_BASE = 50     # unacked tail keys stay clear of the deleted span
+
+
+def rangedel_stream() -> list[tuple]:
+    """Puts, one mid-stream ``delete_range``, then a disjoint tail."""
+    ops: list[tuple] = [
+        ("put", i, value_for(i), i % 13) for i in range(DR_PRELOAD)
+    ]
+    ops.append(("delete_range", DR_LO, DR_HI))
+    ops.extend(
+        ("put", DR_TAIL_BASE + i, value_for(DR_TAIL_BASE + i), None)
+        for i in range(40)
+    )
+    return ops
+
+
+def stream_ops_and_kill(tmp: str, config_overrides: dict,
+                        ops: list[tuple], kill_after: int) -> int:
+    """Pipeline ``ops``, abort the server after ``kill_after`` acks."""
+    cluster = ShardedEngine(
+        durable_config(**config_overrides),
+        n_shards=2,
+        ingest_queue_depth=4,
+        store_path=tmp,
+    )
+    server = LetheServer(cluster, batch_max=8).start()
+    acked = 0
+    try:
+        with socket.create_connection(
+            ("127.0.0.1", server.port), timeout=30
+        ) as sock:
+            sock.sendall(b"".join(encode_request(op) for op in ops))
+            while acked < kill_after:
+                try:
+                    header = _recv_exact(sock, LENGTH_PREFIX_BYTES)
+                    payload = _recv_exact(sock, parse_length(header))
+                except (ConnectionError, socket.timeout):
+                    break
+                response = decode_response(payload)
+                assert response == ("ok",), f"ack {acked} was {response!r}"
+                acked += 1
+    finally:
+        server.abort()
+    return acked
+
+
+@pytest.mark.parametrize("name,config_overrides", FLAVOURS)
+def test_acked_range_delete_survives_server_kill(name, config_overrides):
+    """Kill the server right after the ``delete_range`` ack: the single
+    range tombstone is an acknowledged write like any other, so recovery
+    must show the whole span deleted — never a partially deleted range,
+    never a resurrected key."""
+    ops = rangedel_stream()
+    kill_after = DR_PRELOAD + 1  # the delete_range ack is the last one
+    with tempfile.TemporaryDirectory() as tmp:
+        acked = stream_ops_and_kill(tmp, config_overrides, ops, kill_after)
+        assert acked >= kill_after, f"[{name}] stream died before the ack"
+        recovered = ShardedEngine.open(tmp)
+        try:
+            for i in range(DR_PRELOAD):
+                got = recovered.get(i)
+                if DR_LO <= i < DR_HI:
+                    assert got is None, (
+                        f"[{name}] key {i} survived an acked delete_range"
+                    )
+                else:
+                    assert got == value_for(i), (
+                        f"[{name}] acked put {i} lost or torn: {got!r}"
+                    )
+            # Unacked tail writes may or may not have landed — whole only.
+            for i in range(40):
+                key = DR_TAIL_BASE + i
+                assert recovered.get(key) in (None, value_for(key))
+        finally:
+            recovered.close()
+
+
 def test_unsynced_server_can_lose_acked_writes_documenting_why_sync_matters():
     """Control experiment: with ``sync_writes=False`` under a batched
     commit policy the same kill *may* lose acked writes — the forced

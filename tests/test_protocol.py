@@ -56,6 +56,11 @@ REQUESTS = st.one_of(
     st.tuples(st.just("get"), KEYS),
     st.tuples(st.just("delete"), KEYS),
     st.tuples(st.just("range_delete"), KEYS, KEYS),
+    # delete_range frames are validated (lo <= hi), so generate ordered
+    # pairs; the adversarial suite covers the inverted ones.
+    st.tuples(st.just("delete_range"), KEYS, KEYS).map(
+        lambda t: (t[0], min(t[1], t[2]), max(t[1], t[2]))
+    ),
     st.tuples(st.just("scan"), KEYS, KEYS),
     st.tuples(st.just("secondary_range_lookup"), KEYS, KEYS),
     st.just(("flush",)),
@@ -178,6 +183,26 @@ class TestAdversarial:
         with pytest.raises(ProtocolError):
             frame(bytes(MAX_FRAME_BYTES + 1))
 
+    @given(lo=KEYS, width=st.integers(1, 2**32))
+    def test_inverted_delete_range_rejected_on_encode(self, lo, width):
+        with pytest.raises(ProtocolError, match="delete_range"):
+            encode_request(("delete_range", lo, lo - width))
+
+    @given(lo=KEYS, width=st.integers(1, 2**32))
+    def test_inverted_delete_range_raw_frame_rejected_on_decode(self, lo, width):
+        """A hostile peer can still put lo > hi on the wire by writing
+        the bytes directly; the decoder must refuse the frame."""
+        payload = bytes([protocol.REQ_DELETE_RANGE]) + struct.pack(
+            "<qq", lo, lo - width
+        )
+        with pytest.raises(ProtocolError, match="delete_range"):
+            decode_request(payload)
+
+    def test_empty_delete_range_is_legal_on_the_wire(self):
+        """lo == hi encodes the empty interval — a valid no-op frame."""
+        wire = encode_request(("delete_range", 5, 5))
+        assert decode_request(split_payload(wire)) == ("delete_range", 5, 5)
+
 
 class TestServerClosesOnProtocolError:
     """The live-server half of the adversarial contract."""
@@ -241,5 +266,50 @@ class TestServerClosesOnProtocolError:
                 # ...and the put really landed.
                 with LetheClient("127.0.0.1", server.port) as client:
                     assert client.get(5) == b"kept"
+        finally:
+            cluster.close()
+
+    def test_inverted_delete_range_frame_gets_error_then_close(
+        self, tiny_config
+    ):
+        """A raw lo > hi DELETE_RANGE frame — unbuildable through the
+        client codec — reaches the server's decoder and must be answered
+        with ERROR and a hang-up, leaving earlier writes intact."""
+        import socket
+
+        from repro.net.client import LetheClient
+        from repro.net.server import LetheServer
+        from repro.shard.engine import ShardedEngine
+
+        cluster = ShardedEngine(tiny_config, n_shards=2)
+        try:
+            with LetheServer(cluster) as server:
+                with LetheClient("127.0.0.1", server.port) as client:
+                    client.put(1, b"one")
+                    client.put(2, b"two")
+                    client.delete_range(2, 9)  # the valid spelling works
+                with socket.create_connection(
+                    ("127.0.0.1", server.port), timeout=10
+                ) as sock:
+                    body = bytes([protocol.REQ_DELETE_RANGE]) + struct.pack(
+                        "<qq", 9, 2
+                    )
+                    sock.sendall(frame(body))
+                    chunks = b""
+                    while True:
+                        chunk = sock.recv(4096)
+                        if not chunk:
+                            break
+                        chunks += chunk
+                    length = parse_length(chunks[:LENGTH_PREFIX_BYTES])
+                    response = decode_response(
+                        chunks[LENGTH_PREFIX_BYTES:][:length]
+                    )
+                    assert response[0] == "error"
+                    assert "delete_range" in response[1]
+                assert server.protocol_errors == 1
+                with LetheClient("127.0.0.1", server.port) as client:
+                    assert client.get(1) == b"one"
+                    assert client.get(2) is None  # the valid delete held
         finally:
             cluster.close()

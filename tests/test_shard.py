@@ -350,6 +350,49 @@ class TestSplitAndRebalance:
         cluster.split(0, 50)
         assert cluster.stats.entries_ingested >= before
 
+    def test_split_refragments_straddling_range_tombstone(self):
+        """An in-flight (buffered) range tombstone straddling the split
+        key must be re-issued clipped into BOTH children — the split
+        cannot drop delete intent, widen it, or leak a fragment across
+        a child's keyspan."""
+        cluster = ShardedEngine(kiwi_cfg(), partitioner=RangePartitioner([100]))
+        for key in range(100):
+            cluster.put(key, f"v{key}")
+        cluster.delete_range(30, 70)  # buffered on shard 0, spans key 50
+        left, right = cluster.split(0, 50)
+        stats = cluster.shard_stats()
+        assert stats[left].range_tombstones_ingested >= 1
+        assert stats[right].range_tombstones_ingested >= 1
+        for key in range(100):
+            expected = None if 30 <= key < 70 else f"v{key}"
+            assert cluster.get(key) == expected, f"key {key} after split"
+        assert cluster.scan(0, 99) == [
+            (key, f"v{key}") for key in range(100) if not 30 <= key < 70
+        ]
+        # carried fragments never cross their child's keyspan
+        for index in (left, right):
+            lo_bound, hi_bound = cluster.partitioner.shard_bounds(index)
+            for rt in cluster.shards[index].buffer.range_tombstones:
+                assert lo_bound is None or rt.start >= lo_bound
+                assert hi_bound is None or rt.end <= hi_bound
+        # newer puts into the deleted span still win after the split
+        cluster.put(40, "reborn-left")
+        cluster.put(60, "reborn-right")
+        assert cluster.get(40) == "reborn-left"
+        assert cluster.get(60) == "reborn-right"
+
+    def test_rebalance_carries_inflight_range_tombstones(self):
+        cluster = ShardedEngine(
+            kiwi_cfg(), partitioner=RangePartitioner([1000, 2000, 3000])
+        )
+        for key in range(400):
+            cluster.put(key, f"v{key}", delete_key=key)
+        cluster.delete_range(100, 300)  # buffered when rebalance hits
+        cluster.rebalance()
+        for key in range(400):
+            expected = None if 100 <= key < 300 else f"v{key}"
+            assert cluster.get(key) == expected, f"key {key} after rebalance"
+
     def test_rebalance_balances_skew(self):
         cluster = ShardedEngine(
             kiwi_cfg(), partitioner=RangePartitioner([1000, 2000, 3000])

@@ -11,6 +11,19 @@ import pytest
 
 from repro.bench import experiments as ex
 from repro.bench.harness import BENCH_SCALE, ExperimentScale
+from repro.core import locks
+
+
+@pytest.fixture(autouse=True)
+def _lockdep_off():
+    """Benchmarks measure production behavior: locks built during a
+    benchmark must be plain passthrough primitives, even when the test
+    suite at large runs with lockdep validation on (tests/conftest.py
+    enables it at import when both suites run in one process)."""
+    was = locks.is_validating()
+    locks.set_validation(False)
+    yield
+    locks.set_validation(was)
 
 # The secondary-range-delete experiments (Fig 6H–6L) settle for a smaller
 # preload per (h, mode) combination; this scale keeps the whole benchmark
@@ -23,7 +36,14 @@ KIWI_BENCH_SCALE = ExperimentScale(num_inserts=6000, num_point_lookups=600)
 def bench_sweep():
     """The Fig 6A–6D sweep: RocksDB + Lethe(D_th ∈ {3,5,8}% of runtime)
     over delete fractions 0–10%."""
-    return ex.delete_sweep(BENCH_SCALE)
+    # Session scope instantiates before the function-scoped autouse
+    # fixture, so the sweep disables lockdep for itself.
+    was = locks.is_validating()
+    locks.set_validation(False)
+    try:
+        return ex.delete_sweep(BENCH_SCALE)
+    finally:
+        locks.set_validation(was)
 
 
 def emit(result) -> None:

@@ -117,6 +117,13 @@ def _run_one(
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        # Alias for the project linter: `python -m repro check [...]`.
+        from repro.checks.__main__ import main as checks_main
+
+        return checks_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the evaluation of 'Lethe: A Tunable "

@@ -1,0 +1,25 @@
+"""Project linter: repo invariants as machine-checked rules.
+
+The engine's correctness rests on a handful of conventions that no
+compiler enforces — simulated time everywhere determinism matters,
+every durable write behind the fault-injection boundary, every lock
+acquisition exception-safe, every hot-path histogram behind the one
+``obs.enabled`` branch. This package turns each convention into an
+AST-walking rule (:mod:`repro.checks.rules`) run by a small engine
+(:mod:`repro.checks.lint`), with a ``# lint: allow(<rule>)``
+suppression syntax for the justified exceptions and a checked-in
+baseline for grandfathered findings (kept empty: the tree is clean).
+
+Run it::
+
+    python -m repro.checks          # or: python -m repro check
+
+Exits nonzero on any finding not in the baseline. The rule catalog and
+the suppression/baseline workflow are documented in
+``docs/static_analysis.md``. Runtime lock-order enforcement — the other
+half of the analysis pass — lives in :mod:`repro.core.locks`.
+"""
+
+from repro.checks.lint import Finding, run_checks
+
+__all__ = ["Finding", "run_checks"]

@@ -1,0 +1,58 @@
+"""CLI: ``python -m repro.checks`` (alias: ``python -m repro check``).
+
+Runs every rule over the repository and exits nonzero on findings not
+covered by the baseline. ``--write-baseline`` records the current
+findings instead — for staging a new rule before its sweep lands.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.checks.lint import run_checks, write_baseline
+
+
+def _default_root() -> Path:
+    # src/repro/checks/__main__.py -> repository root
+    return Path(__file__).resolve().parents[3]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.checks",
+        description="Run the project linter (see docs/static_analysis.md).",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root to scan (default: autodetected)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record current findings into .lint-baseline.json and exit 0",
+    )
+    args = parser.parse_args(argv)
+    root = (args.root or _default_root()).resolve()
+
+    new, baselined = run_checks(root)
+    if args.write_baseline:
+        write_baseline(root, new + baselined)
+        print(f"baseline written: {len(new) + len(baselined)} finding(s)")
+        return 0
+    for finding in new:
+        print(finding.render(), file=sys.stderr)
+    if baselined:
+        print(f"({len(baselined)} baselined finding(s) tolerated)")
+    if new:
+        print(f"{len(new)} new finding(s)", file=sys.stderr)
+        return 1
+    print("checks OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

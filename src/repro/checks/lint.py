@@ -1,0 +1,202 @@
+"""The rule engine: parse once, run every rule, honor suppressions.
+
+A rule sees a :class:`ParsedModule` — source, AST (with parent links),
+and the per-line suppression map — and yields :class:`Finding` objects.
+Project-level rules (doc links) get the repository root instead. The
+engine subtracts suppressed findings and anything recorded in the
+baseline file; whatever is left is *new* and fails the run.
+
+Suppressions: a finding on line *N* is silenced by ``# lint:
+allow(<rule>)`` on line *N* itself or anywhere in the contiguous block
+of standalone comment lines directly above it. Suppressions are
+per-rule (comma-separate to allow several) and should carry a
+justification in the surrounding comment — the linter cannot check
+that, but review can.
+
+Baseline: ``.lint-baseline.json`` at the repository root holds a list
+of finding keys (``rule:path:line``) that are known and tolerated.
+``--write-baseline`` regenerates it from the current findings. The
+shipped baseline is empty and should stay that way; it exists so a
+future large-scale rule addition can land before its sweep finishes.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+#: Directories scanned for Python modules, relative to the repo root.
+SCANNED_DIRS = ("src", "tests", "benchmarks", "tools")
+
+BASELINE_NAME = ".lint-baseline.json"
+
+_ALLOW_RE = re.compile(r"#\s*lint:\s*allow\(([\w\-, ]+)\)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, posix separators
+    line: int
+    message: str
+
+    @property
+    def key(self) -> str:
+        return f"{self.rule}:{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+class ParsedModule:
+    """One Python file, parsed once and shared by every rule."""
+
+    def __init__(self, root: Path, path: Path):
+        self.path = path
+        self.rel = path.relative_to(root).as_posix()
+        self.source = path.read_text(encoding="utf-8")
+        self.lines = self.source.splitlines()
+        self.tree = ast.parse(self.source, filename=str(path))
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self._allows = self._parse_allows()
+
+    def _parse_allows(self) -> dict[int, set[str]]:
+        allows: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _ALLOW_RE.search(text)
+            if match:
+                rules = {part.strip() for part in match.group(1).split(",")}
+                allows[lineno] = {rule for rule in rules if rule}
+        return allows
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        if rule in self._allows.get(line, ()):
+            return True
+        # Walk the contiguous block of standalone comment lines directly
+        # above the finding — a justified suppression is usually a
+        # multi-line comment with the allow() marker on its first line.
+        above = line - 1
+        while 0 < above <= len(self.lines) and self.lines[
+            above - 1
+        ].lstrip().startswith("#"):
+            if rule in self._allows.get(above, ()):
+                return True
+            above -= 1
+        return False
+
+    # -- AST helpers shared by rules -----------------------------------
+
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+
+class Rule:
+    """Base class: override one (or both) of the check hooks."""
+
+    name: str = ""
+    description: str = ""
+
+    def check_module(self, module: ParsedModule) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, root: Path) -> Iterable[Finding]:
+        return ()
+
+
+def path_in(rel: str, prefixes: Iterable[str]) -> bool:
+    """Whether repo-relative ``rel`` matches any whitelist entry — a
+    directory prefix (trailing ``/``) or an exact file path."""
+    for prefix in prefixes:
+        if prefix.endswith("/"):
+            if rel.startswith(prefix):
+                return True
+        elif rel == prefix:
+            return True
+    return False
+
+
+def mentions_enabled(node: ast.AST) -> bool:
+    """Whether the subtree reads an ``.enabled`` attribute — the marker
+    of the one-branch observability gate idiom."""
+    return any(
+        isinstance(sub, ast.Attribute) and sub.attr == "enabled"
+        for sub in ast.walk(node)
+    )
+
+
+def collect_modules(root: Path) -> list[ParsedModule]:
+    modules = []
+    for directory in SCANNED_DIRS:
+        base = root / directory
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*.py")):
+            modules.append(ParsedModule(root, path))
+    return modules
+
+
+def load_baseline(root: Path) -> set[str]:
+    baseline_path = root / BASELINE_NAME
+    if not baseline_path.exists():
+        return set()
+    return set(json.loads(baseline_path.read_text(encoding="utf-8")))
+
+
+def write_baseline(root: Path, findings: Iterable[Finding]) -> None:
+    keys = sorted(finding.key for finding in findings)
+    (root / BASELINE_NAME).write_text(
+        json.dumps(keys, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def all_rules() -> list[Rule]:
+    from repro.checks.rules import RULES
+
+    return [rule_cls() for rule_cls in RULES]
+
+
+def run_checks(
+    root: Path, rules: Iterable[Rule] | None = None
+) -> tuple[list[Finding], list[Finding]]:
+    """Run every rule over the tree rooted at ``root``.
+
+    Returns ``(new, baselined)``: findings not covered by the baseline
+    (these fail the run) and findings the baseline tolerates.
+    """
+    active = list(rules) if rules is not None else all_rules()
+    modules = collect_modules(root)
+    findings: list[Finding] = []
+    for rule in active:
+        for module in modules:
+            for finding in rule.check_module(module):
+                if not module.is_suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+        findings.extend(rule.check_project(root))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    baseline = load_baseline(root)
+    new = [f for f in findings if f.key not in baseline]
+    baselined = [f for f in findings if f.key in baseline]
+    return new, baselined

@@ -1,0 +1,24 @@
+"""Rule registry: one module per invariant, listed here in run order."""
+
+from repro.checks.rules.clock import DeterministicClockRule
+from repro.checks.rules.crash_boundary import CrashBoundaryRule
+from repro.checks.rules.doc_links import DocLinksRule
+from repro.checks.rules.locks import LockDisciplineRule
+from repro.checks.rules.obs_gate import ObsGateRule
+
+RULES = [
+    DeterministicClockRule,
+    LockDisciplineRule,
+    CrashBoundaryRule,
+    ObsGateRule,
+    DocLinksRule,
+]
+
+__all__ = [
+    "RULES",
+    "DeterministicClockRule",
+    "LockDisciplineRule",
+    "CrashBoundaryRule",
+    "ObsGateRule",
+    "DocLinksRule",
+]

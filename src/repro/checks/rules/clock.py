@@ -1,0 +1,146 @@
+"""deterministic-clock: engine code must not read the wall clock.
+
+Crash enumeration, Hypothesis shrinking, and the paper's
+ingestion-driven notion of time all depend on every engine-side
+timestamp flowing from :class:`repro.core.clock.SimulatedClock`. A
+stray ``time.time()`` in a compaction policy silently re-introduces
+wall-clock nondeterminism that no test can pin down.
+
+Banned: calls to ``time.time`` / ``perf_counter`` / ``monotonic``
+(and their ``_ns`` variants) and ``datetime.now/utcnow/today``,
+through any import alias.
+
+Allowed without a suppression:
+
+* whitelisted paths — observability internals, the network server's
+  latency stamps, the bench harness, CLI/tooling, tests' own harness
+  files are expected to measure real time;
+* the *obs-stamp idiom*: a wall-clock read inside a function that also
+  reads an ``.enabled`` gate is a latency stamp feeding a histogram
+  (``started = perf_counter() ... obs.X.record(perf_counter() -
+  started)``) — real time is the point, and the obs-gate rule already
+  polices the gating.
+
+Anything else needs ``# lint: allow(deterministic-clock)`` with a
+justification, or a conversion to the simulated clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint import (
+    Finding,
+    ParsedModule,
+    Rule,
+    mentions_enabled,
+    path_in,
+)
+
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+}
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+WHITELIST = (
+    "src/repro/obs/",
+    "src/repro/bench/",
+    "src/repro/checks/",
+    "src/repro/net/server.py",
+    "src/repro/__main__.py",
+    "benchmarks/",
+    "tools/",
+    "tests/conftest.py",
+)
+
+
+class DeterministicClockRule(Rule):
+    name = "deterministic-clock"
+    description = (
+        "wall-clock reads outside the whitelist must use SimulatedClock"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        if path_in(module.rel, WHITELIST):
+            return
+        time_modules, time_names, datetime_names = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            banned = _banned_call(
+                node, time_modules, time_names, datetime_names
+            )
+            if banned is None:
+                continue
+            function = module.enclosing_function(node)
+            if function is not None and mentions_enabled(function):
+                continue  # obs latency-stamp idiom
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=node.lineno,
+                message=(
+                    f"wall-clock call {banned}() — use SimulatedClock, or "
+                    f"suppress with a justifying comment"
+                ),
+            )
+
+
+def _import_aliases(
+    tree: ast.AST,
+) -> tuple[set[str], dict[str, str], set[str]]:
+    """(time-module aliases, banned-name alias -> canonical,
+    datetime-class aliases) declared anywhere in the module."""
+    time_modules: set[str] = set()
+    time_names: dict[str, str] = {}
+    datetime_names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    time_modules.add(alias.asname or "time")
+                elif alias.name == "datetime":
+                    datetime_names.add(alias.asname or "datetime")
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "time":
+                for alias in node.names:
+                    if alias.name in _TIME_FUNCS:
+                        time_names[alias.asname or alias.name] = alias.name
+            elif node.module == "datetime":
+                for alias in node.names:
+                    if alias.name in ("datetime", "date"):
+                        datetime_names.add(alias.asname or alias.name)
+    return time_modules, time_names, datetime_names
+
+
+def _banned_call(
+    node: ast.Call,
+    time_modules: set[str],
+    time_names: dict[str, str],
+    datetime_names: set[str],
+) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in time_names:
+        return f"time.{time_names[func.id]}"
+    if isinstance(func, ast.Attribute):
+        value = func.value
+        if isinstance(value, ast.Name):
+            if value.id in time_modules and func.attr in _TIME_FUNCS:
+                return f"{value.id}.{func.attr}"
+            if value.id in datetime_names and func.attr in _DATETIME_FUNCS:
+                return f"{value.id}.{func.attr}"
+        # datetime.datetime.now() through the module alias
+        if (
+            isinstance(value, ast.Attribute)
+            and isinstance(value.value, ast.Name)
+            and value.value.id in datetime_names
+            and func.attr in _DATETIME_FUNCS
+        ):
+            return f"{value.value.id}.{value.attr}.{func.attr}"
+    return None

@@ -1,0 +1,115 @@
+"""crash-boundary: durable writes only behind the fault injector.
+
+Crash-recovery testing enumerates every physical write through the
+labeled :class:`repro.storage.persist.FaultInjector` boundaries in
+``storage/persist.py``. A durable write issued anywhere else — a bare
+``open(..., "wb")``, an ``os.rename`` — is invisible to crash
+enumeration: the recovery suite would never simulate a crash at that
+write, so its durability is untested by construction.
+
+Banned outside the whitelist: ``os.fsync`` / ``os.fdatasync`` /
+``os.rename`` / ``os.replace`` / ``os.unlink`` / ``os.remove`` /
+``os.truncate`` / ``os.ftruncate``, and any ``open()`` / ``.open()``
+call whose literal mode writes bytes (contains ``b`` plus one of
+``w``/``a``/``x``/``+``).
+
+Whitelisted: ``storage/persist.py`` itself, plus tests, benchmarks,
+and tools — harness code manages its own files.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint import Finding, ParsedModule, Rule, path_in
+
+_OS_FUNCS = {
+    "fsync",
+    "fdatasync",
+    "rename",
+    "replace",
+    "unlink",
+    "remove",
+    "truncate",
+    "ftruncate",
+}
+
+WHITELIST = (
+    "src/repro/storage/persist.py",
+    "tests/",
+    "benchmarks/",
+    "tools/",
+)
+
+
+class CrashBoundaryRule(Rule):
+    name = "crash-boundary"
+    description = (
+        "durable writes (os.fsync/rename/unlink, binary-write open) only "
+        "inside storage/persist.py"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        if path_in(module.rel, WHITELIST):
+            return
+        os_aliases = _os_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            banned = _banned_call(node, os_aliases)
+            if banned is None:
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=node.lineno,
+                message=(
+                    f"{banned} outside storage/persist.py bypasses the "
+                    f"fault-injection boundary"
+                ),
+            )
+
+
+def _os_aliases(tree: ast.AST) -> set[str]:
+    aliases: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "os":
+                    aliases.add(alias.asname or "os")
+    return aliases
+
+
+def _write_mode(node: ast.Call) -> str | None:
+    """The call's literal mode string if it writes bytes."""
+    mode: ast.expr | None = None
+    if len(node.args) >= 2:
+        mode = node.args[1]
+    for keyword in node.keywords:
+        if keyword.arg == "mode":
+            mode = keyword.value
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        text = mode.value
+        if "b" in text and any(flag in text for flag in "wax+"):
+            return text
+    return None
+
+
+def _banned_call(node: ast.Call, os_aliases: set[str]) -> str | None:
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in os_aliases
+        and func.attr in _OS_FUNCS
+    ):
+        return f"{func.value.id}.{func.attr}()"
+    is_open = (isinstance(func, ast.Name) and func.id == "open") or (
+        isinstance(func, ast.Attribute) and func.attr == "open"
+    )
+    if is_open:
+        mode = _write_mode(node)
+        if mode is not None:
+            return f"open(..., {mode!r})"
+    return None

@@ -1,0 +1,125 @@
+"""lock-discipline: every explicit lock acquisition must be release-safe.
+
+``with lock:`` is exception-safe by construction. A bare
+``lock.acquire()`` is not: any exception between it and the matching
+``release()`` strands the lock — exactly the permit-leak bug the
+``ClientPool`` once shipped. This rule flags every statement-level
+``.acquire()`` call that is not protected by a ``try`` whose
+``finally`` (or an exception handler) releases the same receiver.
+
+Accepted shapes::
+
+    lock.acquire()
+    try:
+        ...
+    finally:
+        lock.release()
+
+    lock.acquire()          # the very next statement is the try
+    try:
+        ...
+    except BaseException:
+        lock.release()
+        raise
+
+The receiver is compared textually (``ast.unparse``), so the release
+must name the same expression the acquire did. Conditional acquisition
+(``if lock.acquire(blocking=False):``) is out of scope for the
+statement-level check and flagged — restructure or suppress with a
+justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint import Finding, ParsedModule, Rule, path_in
+
+# The validating wrappers themselves implement acquire/release.
+WHITELIST = ("src/repro/core/locks.py",)
+
+
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "explicit .acquire() must be paired with a try/finally (or "
+        "handler) releasing the same receiver"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        if path_in(module.rel, WHITELIST):
+            return
+        for node in ast.walk(module.tree):
+            call = _acquire_call(node)
+            if call is None:
+                continue
+            receiver = ast.unparse(call.func.value)  # type: ignore[attr-defined]
+            if _released_by_enclosing_try(module, node, receiver):
+                continue
+            if _released_by_next_statement(module, node, receiver):
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=node.lineno,
+                message=(
+                    f"bare {receiver}.acquire() without a try/finally "
+                    f"releasing it — use `with` or pair the release"
+                ),
+            )
+
+
+def _acquire_call(node: ast.AST) -> ast.Call | None:
+    """The ``.acquire(...)`` call if ``node`` is a statement making one."""
+    if isinstance(node, ast.Expr):
+        value = node.value
+    elif isinstance(node, ast.Assign):
+        value = node.value
+    else:
+        return None
+    if (
+        isinstance(value, ast.Call)
+        and isinstance(value.func, ast.Attribute)
+        and value.func.attr == "acquire"
+    ):
+        return value
+    return None
+
+
+def _try_releases(try_node: ast.Try, receiver: str) -> bool:
+    needle = f"{receiver}.release("
+    blocks = [try_node.finalbody]
+    blocks.extend(handler.body for handler in try_node.handlers)
+    for block in blocks:
+        for statement in block:
+            if needle in ast.unparse(statement):
+                return True
+    return False
+
+
+def _released_by_enclosing_try(
+    module: ParsedModule, node: ast.AST, receiver: str
+) -> bool:
+    for ancestor in module.ancestors(node):
+        if isinstance(ancestor, ast.Try) and _try_releases(ancestor, receiver):
+            return True
+    return False
+
+
+def _released_by_next_statement(
+    module: ParsedModule, node: ast.AST, receiver: str
+) -> bool:
+    parent = module.parent(node)
+    if parent is None:
+        return False
+    for field in ("body", "orelse", "finalbody"):
+        block = getattr(parent, field, None)
+        if isinstance(block, list) and node in block:
+            index = block.index(node)
+            if index + 1 < len(block):
+                following = block[index + 1]
+                return isinstance(following, ast.Try) and _try_releases(
+                    following, receiver
+                )
+    return False

@@ -1,0 +1,71 @@
+"""obs-gate: hot-path histogram recording stays behind ``obs.enabled``.
+
+The observability layer's contract is one predictable branch per
+operation when disabled — that is what keeps the <5% overhead gate
+(``benchmarks/test_obs_overhead.py``) honest. Spans already cost
+nothing when off (the tracer is a null object), but histogram
+``.record()`` calls do real bucketing work, so each must sit in a
+function that checks the ``.enabled`` flag (early-return or ``if``
+guard — the established idioms in ``core/engine.py`` and
+``storage/persist.py``).
+
+The rule flags ``<something involving obs>.record(...)`` calls whose
+enclosing function never reads an ``.enabled`` attribute. It does not
+prove the *order* of gate and record — that stays on review — but it
+catches the common regression: a new metric recorded unconditionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.checks.lint import (
+    Finding,
+    ParsedModule,
+    Rule,
+    mentions_enabled,
+    path_in,
+)
+
+WHITELIST = (
+    "src/repro/obs/",
+    "src/repro/bench/",
+    "src/repro/net/server.py",
+    "tests/",
+    "benchmarks/",
+    "tools/",
+)
+
+
+class ObsGateRule(Rule):
+    name = "obs-gate"
+    description = (
+        "histogram .record() calls must sit behind an obs.enabled check"
+    )
+
+    def check_module(self, module: ParsedModule) -> Iterator[Finding]:
+        if path_in(module.rel, WHITELIST):
+            return
+        for node in ast.walk(module.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "record"
+            ):
+                continue
+            receiver = ast.unparse(node.func.value)
+            if "obs" not in receiver:
+                continue  # not an observability metric
+            function = module.enclosing_function(node)
+            if function is not None and mentions_enabled(function):
+                continue
+            yield Finding(
+                rule=self.name,
+                path=module.rel,
+                line=node.lineno,
+                message=(
+                    f"{receiver}.record() without an obs.enabled gate in "
+                    f"the enclosing function"
+                ),
+            )

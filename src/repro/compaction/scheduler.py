@@ -58,6 +58,7 @@ from abc import ABC, abstractmethod
 from typing import Any
 
 from repro.compaction.fade import FADEPolicy
+from repro.core import locks
 from repro.core.errors import ConfigError
 
 
@@ -199,7 +200,11 @@ class BackgroundScheduler(CompactionScheduler):
             raise ConfigError(f"workers must be >= 1, got {workers}")
         self.workers = workers
         self.deterministic_commits = deterministic_commits
-        self._cv = threading.Condition()
+        # Ranked above the commit lock: deterministic-commit mode drains
+        # the queue from under the engine's commit section.
+        self._cv = locks.OrderedCondition(
+            "scheduler.queue", locks.RANK_SCHEDULER_CV
+        )
         self._heap: list[tuple[tuple[int, float], int, _EngineSlot]] = []
         self._slots: dict[int, _EngineSlot] = {}
         self._seq = 0
@@ -283,6 +288,9 @@ class BackgroundScheduler(CompactionScheduler):
             return
         pending = engine._pending_l1_runs()
         if stall_at > 0 and pending >= stall_at:
+            # lint: allow(deterministic-clock) — stall_seconds reports
+            # how long the writer *really* blocked; simulated time does
+            # not advance while a thread waits on the cv.
             started = time.perf_counter()
             priority = fade_priority(engine)
             with engine.obs.tracer.span("write-stall", l1_runs=pending):
@@ -307,6 +315,8 @@ class BackgroundScheduler(CompactionScheduler):
                             # the writer forever.
                             break
             engine.stats.add(
+                # lint: allow(deterministic-clock) — pairs with the
+                # wall-clock stamp above.
                 write_stalls=1, stall_seconds=time.perf_counter() - started
             )
             self._reraise(slot)

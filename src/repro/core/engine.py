@@ -28,6 +28,7 @@ from repro.compaction.full import full_tree_compaction
 from repro.compaction.lazy_leveling import LazyLevelingPolicy
 from repro.compaction.leveling import LeveledCompactionPolicy
 from repro.compaction.scheduler import CompactionScheduler, make_scheduler
+from repro.core import locks
 from repro.compaction.tiering import TieredCompactionPolicy
 from repro.core.clock import SimulatedClock
 from repro.core.config import (
@@ -128,10 +129,17 @@ class LSMEngine:
         # _persistence_lock — the tombstone persistence index, mutated
         #   by the write path and by worker-side persistence callbacks.
         # Lock order: _compaction_mutex -> _commit_lock -> tree install
-        # lock; _persistence_lock is a leaf.
-        self._compaction_mutex = threading.RLock()
-        self._commit_lock = threading.RLock()
-        self._persistence_lock = threading.Lock()
+        # lock; _persistence_lock is a leaf. The ranks encode exactly
+        # this order and lockdep enforces it (see docs/static_analysis.md).
+        self._compaction_mutex = locks.OrderedRLock(
+            "engine.compaction", locks.RANK_ENGINE_COMPACTION
+        )
+        self._commit_lock = locks.OrderedRLock(
+            "engine.commit", locks.RANK_ENGINE_COMMIT
+        )
+        self._persistence_lock = locks.OrderedLock(
+            "engine.persistence-index", locks.RANK_PERSISTENCE_INDEX
+        )
         self._maintenance_thread: int | None = None
 
         self.policy = self._build_policy()

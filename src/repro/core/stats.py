@@ -36,9 +36,10 @@ view taken concurrently with an append never observes a half-grown list.
 
 from __future__ import annotations
 
-import threading
 from dataclasses import dataclass, field, fields
 from typing import Iterable
+
+from repro.core import locks
 
 
 @dataclass
@@ -135,7 +136,7 @@ class Statistics:
     def __post_init__(self) -> None:
         # Not a dataclass field: merge()/snapshot() iterate fields and
         # must never try to sum a lock.
-        self._lock = threading.Lock()
+        self._lock = locks.OrderedLock("stats", locks.RANK_STATS)
 
     def add(self, **deltas: float) -> None:
         """Atomically bump the named counters (background-worker paths).

@@ -23,10 +23,10 @@ needing any additional metadata".
 from __future__ import annotations
 
 import abc
-import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.core import locks
 from repro.storage.entry import Entry, RangeTombstone
 
 # One lock covers both allocation and the recovery-path ratchet: parallel
@@ -34,7 +34,9 @@ from repro.storage.entry import Entry, RangeTombstone
 # an SRD roll-forward on a sibling shard may be allocating, and an
 # unguarded read-bump-replace could rewind the counter into numbers
 # already handed out.
-_counter_lock = threading.Lock()
+_counter_lock = locks.OrderedLock(
+    "runfile.counter", locks.RANK_RUNFILE_COUNTER
+)
 _next_file_number = 0
 
 

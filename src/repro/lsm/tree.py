@@ -24,10 +24,10 @@ never wrong.
 
 from __future__ import annotations
 
-import threading
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from repro.core import locks
 from repro.core.config import EngineConfig
 from repro.core.stats import Statistics
 from repro.lsm.iterator import merge_for_read
@@ -46,7 +46,9 @@ class LSMTree:
         # Guards every structural mutation (and view capture); reentrant
         # because installers call ensure_level inside their own install
         # section.
-        self._install_lock = threading.RLock()
+        self._install_lock = locks.OrderedRLock(
+            "tree.install", locks.RANK_TREE_INSTALL
+        )
         self._version = 0
 
     # ------------------------------------------------------------------

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import asyncio
 import socket
-import threading
 from typing import Any, Iterable
+
+from repro.core import locks
 
 from repro.net.protocol import (
     LENGTH_PREFIX_BYTES,
@@ -184,37 +185,51 @@ class ClientPool:
             raise ValueError(f"pool size must be >= 1, got {size}")
         self._host, self._port, self._timeout = host, port, timeout
         self._size = size
-        self._lock = threading.Lock()
+        self._lock = locks.OrderedLock(
+            "client-pool.state", locks.RANK_CLIENT_POOL_STATE
+        )
         self._idle: list[LetheClient] = []
         self._created = 0
-        self._available = threading.Semaphore(size)
+        self._available = locks.OrderedSemaphore(
+            "client-pool.permits", locks.RANK_CLIENT_POOL_PERMITS, size
+        )
         self._closed = False
 
     def _acquire(self) -> LetheClient:
+        # Permit first, then pool state. Every exit that does not hand
+        # a client to the caller must give the permit back — a leaked
+        # permit permanently shrinks the pool and eventually deadlocks
+        # every borrower.
         self._available.acquire()
-        with self._lock:
-            if self._closed:
-                self._available.release()
-                raise RuntimeError("acquire on a closed ClientPool")
-            if self._idle:
-                return self._idle.pop()
-            self._created += 1
         try:
-            return LetheClient(self._host, self._port, timeout=self._timeout)
-        except BaseException:
             with self._lock:
-                self._created -= 1
+                if self._closed:
+                    raise RuntimeError("acquire on a closed ClientPool")
+                if self._idle:
+                    return self._idle.pop()
+                self._created += 1
+            try:
+                return LetheClient(
+                    self._host, self._port, timeout=self._timeout
+                )
+            except BaseException:
+                with self._lock:
+                    self._created -= 1
+                raise
+        except BaseException:
             self._available.release()
             raise
 
     def _release(self, client: LetheClient, broken: bool = False) -> None:
-        with self._lock:
-            if broken or self._closed:
-                client.close()
-                self._created -= 1
-            else:
-                self._idle.append(client)
-        self._available.release()
+        try:
+            with self._lock:
+                if broken or self._closed:
+                    client.close()
+                    self._created -= 1
+                else:
+                    self._idle.append(client)
+        finally:
+            self._available.release()
 
     class _Lease:
         def __init__(self, pool: "ClientPool"):

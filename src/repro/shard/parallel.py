@@ -45,6 +45,7 @@ from abc import ABC, abstractmethod
 from concurrent.futures import ThreadPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
+from repro.core import locks
 from repro.core.errors import ConfigError
 from repro.obs import NULL_OBS
 
@@ -99,7 +100,9 @@ class PooledExecutor(ShardExecutor):
         self._requested = max_workers
         self._pool: ThreadPoolExecutor | None = None
         self._pool_width = 0
-        self._lock = threading.Lock()
+        self._lock = locks.OrderedLock(
+            "parallel.executor-pool", locks.RANK_EXECUTOR_POOL
+        )
 
     def _pool_for(self, width: int) -> ThreadPoolExecutor:
         """Current pool, grown to ``width`` if auto-sized. Caller holds

@@ -15,10 +15,10 @@ page to the file system" full-page drops (§4.2.2) have a concrete target.
 
 from __future__ import annotations
 
-import threading
 import time
 from dataclasses import dataclass
 
+from repro.core import locks
 from repro.core.errors import StorageError
 from repro.core.stats import Statistics
 
@@ -73,7 +73,9 @@ class SimulatedDisk:
         self._next_file_id = 0
         # Flushes (ingest thread) and compactions (background workers)
         # allocate and free extents concurrently.
-        self._alloc_lock = threading.Lock()
+        self._alloc_lock = locks.OrderedLock(
+            "disk.alloc", locks.RANK_DISK_ALLOC
+        )
 
     def _device_wait(self, pages: int) -> None:
         if self.real_io_seconds > 0.0 and pages > 0:

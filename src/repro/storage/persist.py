@@ -97,6 +97,7 @@ from repro.core.config import (
     FileSelectionMode,
     MergePolicy,
 )
+from repro.core import locks
 from repro.core.errors import PersistenceError
 from repro.lsm.wal import CommitPolicy, WALRecord, WALSegment
 from repro.obs import NULL_OBS
@@ -166,7 +167,9 @@ class FaultInjector:
         # the trace does not grow one string per write forever.
         self.record_labels = record_labels
         self.labels: list[str] = []
-        self._lock = threading.Lock()
+        self._lock = locks.OrderedLock(
+            "persist.fault-injector", locks.RANK_FAULT_INJECTOR
+        )
 
     def before_write(self, label: str) -> None:
         """Called immediately before every physical write, with a label
@@ -333,7 +336,9 @@ class DurableStore:
         # Group-commit serialization: the append path (ingest thread)
         # and the forced drains of manifest commits — which a background
         # compaction worker issues — mutate the same pending batches.
-        self._wal_mutex = threading.RLock()
+        self._wal_mutex = locks.OrderedRLock(
+            "persist.wal", locks.RANK_WAL_MUTEX
+        )
         # Wall-clock interval policy: one pending timer drains the batch
         # interval_ms real milliseconds after its first record. The
         # factory is injectable so tests drive a fake timer by hand.

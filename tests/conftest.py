@@ -24,6 +24,15 @@ settings.register_profile("dev", settings.default)
 settings.register_profile("ci", derandomize=True)
 settings.register_profile("nightly", max_examples=300, deadline=None)
 settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
+
+# Lock-order validation (lockdep) for the whole suite: every lock an
+# engine under test constructs checks the documented rank order, so any
+# concurrency stress test doubles as a lock-order race detector. Opt
+# out with REPRO_LOCKDEP=0 (benchmarks/conftest.py turns it off per
+# benchmark — the overhead gate must measure passthrough locks).
+from repro.core import locks
+
+locks.set_validation(os.environ.get("REPRO_LOCKDEP", "1") != "0")
 from repro.core.engine import LSMEngine
 from repro.core.stats import Statistics
 from repro.storage.disk import SimulatedDisk

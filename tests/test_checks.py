@@ -1,0 +1,352 @@
+"""Linter fixture tests: each known-bad snippet trips exactly its rule.
+
+The fixtures build a miniature repository under ``tmp_path`` (the rules
+whitelist by repo-relative path, so placement matters) and run the full
+rule set over it — asserting both that the bad snippet is caught and
+that nothing else fires.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.checks import run_checks
+from repro.checks.lint import (
+    ParsedModule,
+    collect_modules,
+    path_in,
+    write_baseline,
+)
+from repro.checks.rules import RULES
+from repro.checks.rules.clock import DeterministicClockRule
+from repro.checks.rules.crash_boundary import CrashBoundaryRule
+from repro.checks.rules.doc_links import DocLinksRule, github_anchor
+from repro.checks.rules.locks import LockDisciplineRule
+from repro.checks.rules.obs_gate import ObsGateRule
+
+
+def write_module(root: Path, rel: str, source: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def rule_hits(root: Path, rel: str, source: str) -> list[str]:
+    """Names of every rule that fires on one snippet."""
+    path = write_module(root, rel, source)
+    module = ParsedModule(root, path)
+    names = []
+    for rule_cls in RULES:
+        rule = rule_cls()
+        for finding in rule.check_module(module):
+            if not module.is_suppressed(finding.rule, finding.line):
+                names.append(finding.rule)
+    return names
+
+
+class TestDeterministicClock:
+    BAD = "import time\n\ndef age():\n    return time.time()\n"
+
+    def test_bad_snippet_trips_exactly_this_rule(self, tmp_path):
+        assert rule_hits(tmp_path, "src/repro/policy.py", self.BAD) == [
+            DeterministicClockRule.name
+        ]
+
+    def test_aliased_import_is_caught(self, tmp_path):
+        source = (
+            "from time import perf_counter as _pc\n\n"
+            "def stamp():\n    return _pc()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/policy.py", source) == [
+            DeterministicClockRule.name
+        ]
+
+    def test_datetime_now_is_caught(self, tmp_path):
+        source = (
+            "from datetime import datetime\n\n"
+            "def today():\n    return datetime.now()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/policy.py", source) == [
+            DeterministicClockRule.name
+        ]
+
+    def test_whitelisted_path_passes(self, tmp_path):
+        assert rule_hits(tmp_path, "src/repro/obs/timer.py", self.BAD) == []
+
+    def test_obs_stamp_idiom_passes(self, tmp_path):
+        source = (
+            "from time import perf_counter\n\n"
+            "def put(self, obs):\n"
+            "    if not obs.enabled:\n"
+            "        return\n"
+            "    started = perf_counter()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/hot.py", source) == []
+
+    def test_suppression_same_line(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def age():\n"
+            "    return time.time()  # lint: allow(deterministic-clock)\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/policy.py", source) == []
+
+    def test_suppression_comment_block_above(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def age():\n"
+            "    # lint: allow(deterministic-clock) — justified here\n"
+            "    # across a multi-line explanation.\n"
+            "    return time.time()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/policy.py", source) == []
+
+    def test_suppression_is_per_rule(self, tmp_path):
+        source = (
+            "import time\n\n"
+            "def age():\n"
+            "    return time.time()  # lint: allow(obs-gate)\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/policy.py", source) == [
+            DeterministicClockRule.name
+        ]
+
+
+class TestLockDiscipline:
+    def test_bare_acquire_trips(self, tmp_path):
+        source = (
+            "def hold(lock):\n"
+            "    lock.acquire()\n"
+            "    do_work()\n"
+            "    lock.release()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/sync.py", source) == [
+            LockDisciplineRule.name
+        ]
+
+    def test_acquire_then_try_finally_passes(self, tmp_path):
+        source = (
+            "def hold(lock):\n"
+            "    lock.acquire()\n"
+            "    try:\n"
+            "        do_work()\n"
+            "    finally:\n"
+            "        lock.release()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/sync.py", source) == []
+
+    def test_acquire_inside_try_with_handler_release_passes(self, tmp_path):
+        source = (
+            "def hold(sem):\n"
+            "    sem.acquire()\n"
+            "    try:\n"
+            "        do_work()\n"
+            "    except BaseException:\n"
+            "        sem.release()\n"
+            "        raise\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/sync.py", source) == []
+
+    def test_with_statement_passes(self, tmp_path):
+        source = "def hold(lock):\n    with lock:\n        do_work()\n"
+        assert rule_hits(tmp_path, "src/repro/sync.py", source) == []
+
+    def test_release_of_other_receiver_does_not_count(self, tmp_path):
+        source = (
+            "def hold(a, b):\n"
+            "    a.acquire()\n"
+            "    try:\n"
+            "        do_work()\n"
+            "    finally:\n"
+            "        b.release()\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/sync.py", source) == [
+            LockDisciplineRule.name
+        ]
+
+
+class TestCrashBoundary:
+    def test_os_fsync_trips(self, tmp_path):
+        source = "import os\n\ndef sync(fd):\n    os.fsync(fd)\n"
+        assert rule_hits(tmp_path, "src/repro/leak.py", source) == [
+            CrashBoundaryRule.name
+        ]
+
+    def test_binary_write_open_trips(self, tmp_path):
+        source = "def dump(path):\n    open(path, 'wb').close()\n"
+        assert rule_hits(tmp_path, "src/repro/leak.py", source) == [
+            CrashBoundaryRule.name
+        ]
+
+    def test_binary_read_open_passes(self, tmp_path):
+        source = "def load(path):\n    return open(path, 'rb').read()\n"
+        assert rule_hits(tmp_path, "src/repro/leak.py", source) == []
+
+    def test_persist_module_is_whitelisted(self, tmp_path):
+        source = "import os\n\ndef sync(fd):\n    os.fsync(fd)\n"
+        assert (
+            rule_hits(tmp_path, "src/repro/storage/persist.py", source) == []
+        )
+
+    def test_tests_are_whitelisted(self, tmp_path):
+        source = "def dump(path):\n    open(path, 'wb').close()\n"
+        assert rule_hits(tmp_path, "tests/helper.py", source) == []
+
+
+class TestObsGate:
+    def test_ungated_record_trips(self, tmp_path):
+        source = (
+            "def put(self):\n"
+            "    self.obs.op_write_latency.record(0.1)\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/hot.py", source) == [
+            ObsGateRule.name
+        ]
+
+    def test_gated_record_passes(self, tmp_path):
+        source = (
+            "def put(self):\n"
+            "    if self.obs.enabled:\n"
+            "        self.obs.op_write_latency.record(0.1)\n"
+        )
+        assert rule_hits(tmp_path, "src/repro/hot.py", source) == []
+
+    def test_non_obs_record_ignored(self, tmp_path):
+        source = "def log(recorder):\n    recorder.record('event')\n"
+        assert rule_hits(tmp_path, "src/repro/hot.py", source) == []
+
+
+class TestDocLinks:
+    def test_broken_link_reported_with_line(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "# A\n\nSee [missing](nope.md).\n", encoding="utf-8"
+        )
+        findings = list(DocLinksRule().check_project(tmp_path))
+        assert len(findings) == 1
+        assert findings[0].rule == DocLinksRule.name
+        assert findings[0].line == 3
+        assert "nope.md" in findings[0].message
+
+    def test_anchor_check(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "docs" / "a.md").write_text(
+            "# Top Heading\n\n[ok](#top-heading)\n[bad](#absent)\n",
+            encoding="utf-8",
+        )
+        findings = list(DocLinksRule().check_project(tmp_path))
+        assert [f.message for f in findings] == ["broken anchor -> #absent"]
+
+    def test_github_anchor_slugging(self):
+        assert github_anchor("Lock order & ranks") == "lock-order--ranks"
+        assert github_anchor("`code` *em*") == "code-em"
+
+
+class TestEngineAndBaseline:
+    def test_run_checks_reports_and_baseline_tolerates(self, tmp_path):
+        write_module(
+            tmp_path,
+            "src/repro/policy.py",
+            "import time\n\ndef age():\n    return time.time()\n",
+        )
+        new, baselined = run_checks(tmp_path)
+        assert [f.rule for f in new] == [DeterministicClockRule.name]
+        assert baselined == []
+        write_baseline(tmp_path, new)
+        recorded = json.loads(
+            (tmp_path / ".lint-baseline.json").read_text(encoding="utf-8")
+        )
+        assert recorded == [new[0].key]
+        new_after, baselined_after = run_checks(tmp_path)
+        assert new_after == []
+        assert [f.key for f in baselined_after] == recorded
+
+    def test_collect_modules_scans_known_dirs_only(self, tmp_path):
+        write_module(tmp_path, "src/repro/a.py", "x = 1\n")
+        write_module(tmp_path, "tests/b.py", "y = 2\n")
+        write_module(tmp_path, "elsewhere/c.py", "z = 3\n")
+        rels = [m.rel for m in collect_modules(tmp_path)]
+        assert rels == ["src/repro/a.py", "tests/b.py"]
+
+    def test_path_in_prefix_and_exact(self):
+        assert path_in("src/repro/obs/export.py", ("src/repro/obs/",))
+        assert path_in("tools/x.py", ("tools/",))
+        assert path_in(
+            "src/repro/net/server.py", ("src/repro/net/server.py",)
+        )
+        assert not path_in(
+            "src/repro/net/server_util.py", ("src/repro/net/server.py",)
+        )
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.checks.__main__ import main
+
+        write_module(
+            tmp_path,
+            "src/repro/policy.py",
+            "import time\n\ndef age():\n    return time.time()\n",
+        )
+        assert main(["--root", str(tmp_path)]) == 1
+        assert main(["--root", str(tmp_path), "--write-baseline"]) == 0
+        assert main(["--root", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "baselined" in out
+
+    def test_repo_tree_is_clean(self):
+        root = Path(__file__).resolve().parent.parent
+        new, baselined = run_checks(root)
+        assert new == [], "\n".join(f.render() for f in new)
+        assert baselined == [], "the shipped baseline must stay empty"
+
+
+class TestClientPoolPermitLeak:
+    """Regression: a connection-factory exception must neither leak a
+    permit nor deadlock the pool (src/repro/net/client.py)."""
+
+    def test_factory_exception_releases_permit(self, monkeypatch):
+        from repro.net import client as client_mod
+
+        attempts = []
+
+        class FlakyClient:
+            def __init__(self, host, port, timeout=None):
+                attempts.append((host, port))
+                if len(attempts) == 1:
+                    raise ConnectionRefusedError("first dial fails")
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(client_mod, "LetheClient", FlakyClient)
+        pool = client_mod.ClientPool("127.0.0.1", 1, size=1)
+        with pytest.raises(ConnectionRefusedError):
+            with pool.connection():
+                pass
+        # The failed dial returned its permit: with size=1, a leaked
+        # permit would make this second acquire block forever.
+        acquired = pool._available.acquire(timeout=2)  # lint: allow(lock-discipline)
+        assert acquired, "factory failure leaked the pool permit"
+        pool._available.release()
+        # And the pool still works end to end.
+        with pool.connection() as conn:
+            assert isinstance(conn, FlakyClient)
+        pool.close()
+        assert len(attempts) == 2
+
+    def test_closed_pool_acquire_releases_permit(self):
+        from repro.net.client import ClientPool
+
+        pool = ClientPool("127.0.0.1", 1, size=1)
+        pool.close()
+        for _ in range(3):  # would deadlock on the 2nd try if leaked
+            with pytest.raises(RuntimeError):
+                with pool.connection():
+                    pass
+        assert pool._available.acquire(timeout=2)
+        # Give the probe permit back: a held rank-1000 permit on this
+        # thread would poison every later low-rank acquisition.
+        pool._available.release()

@@ -1,0 +1,250 @@
+"""Lockdep unit tests: rank enforcement, passthrough, condition wiring.
+
+The suite-wide conftest enables validation at import, so engines built
+by other tests already run under lockdep; these tests pin the wrapper's
+own contract — violations raise with both acquisition stacks, and
+passthrough mode returns the plain ``threading`` primitive itself.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core import locks
+from repro.core.locks import (
+    LockOrderViolation,
+    OrderedCondition,
+    OrderedLock,
+    OrderedRLock,
+    OrderedSemaphore,
+)
+
+
+@pytest.fixture
+def validating():
+    was = locks.is_validating()
+    locks.set_validation(True)
+    yield
+    locks.set_validation(was)
+
+
+@pytest.fixture
+def passthrough():
+    was = locks.is_validating()
+    locks.set_validation(False)
+    yield
+    locks.set_validation(was)
+
+
+class TestOrdering:
+    def test_ascending_ranks_pass(self, validating):
+        low = OrderedLock("low", 10)
+        high = OrderedLock("high", 20)
+        with low:
+            with high:
+                assert locks.held_ranks() == [("low", 10), ("high", 20)]
+        assert locks.held_ranks() == []
+
+    def test_inverted_acquisition_raises(self, validating):
+        low = OrderedLock("low", 10)
+        high = OrderedLock("high", 20)
+        with high:
+            with pytest.raises(LockOrderViolation) as excinfo:
+                with low:  # raises before acquiring
+                    pass
+        violation = excinfo.value
+        assert "'low'" in str(violation) and "'high'" in str(violation)
+        # Both acquisition call sites are carried for diagnosis.
+        assert violation.held_site and violation.acquire_site
+        assert any("test_locks" in frame[0] for frame in violation.held_site)
+        assert any(
+            "test_locks" in frame[0] for frame in violation.acquire_site
+        )
+
+    def test_equal_rank_different_lock_raises(self, validating):
+        first = OrderedLock("first", 30)
+        second = OrderedLock("second", 30)
+        with first:
+            with pytest.raises(LockOrderViolation):
+                second.acquire()  # lint: allow(lock-discipline)
+
+    def test_rlock_reenters(self, validating):
+        lock = OrderedRLock("re", 40)
+        with lock:
+            with lock:
+                assert len(locks.held_ranks()) == 2
+        assert locks.held_ranks() == []
+
+    def test_plain_lock_blocking_reentry_raises(self, validating):
+        lock = OrderedLock("plain", 40)
+        with lock:
+            with pytest.raises(LockOrderViolation):
+                lock.acquire()  # lint: allow(lock-discipline)
+
+    def test_nonblocking_reentry_probe_fails_quietly(self, validating):
+        # Condition._is_owned probes ownership with acquire(False); a
+        # held validating lock must fail the probe, not raise.
+        lock = OrderedLock("probe", 40)
+        with lock:
+            assert lock.acquire(False) is False
+        assert lock.acquire(False) is True
+        lock.release()
+
+    def test_release_of_unheld_lock_raises(self, validating):
+        lock = OrderedLock("unheld", 10)
+        with pytest.raises(LockOrderViolation):
+            lock.release()
+
+    def test_stack_is_per_thread(self, validating):
+        low = OrderedLock("low", 10)
+        high = OrderedLock("high", 20)
+        errors: list[BaseException] = []
+
+        def other():
+            try:
+                # This thread holds nothing: acquiring low is legal even
+                # while the main thread holds high.
+                acquired = low.acquire(timeout=1)  # lint: allow(lock-discipline)
+                assert acquired
+                low.release()
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        with high:
+            thread = threading.Thread(target=other)
+            thread.start()
+            thread.join()
+        assert not errors
+
+
+class TestSemaphore:
+    def test_multiple_permits_one_thread(self, validating):
+        permits = OrderedSemaphore("permits", 10, value=2)
+        assert permits.acquire()
+        assert permits.acquire()
+        permits.release()
+        permits.release()
+        assert locks.held_ranks() == []
+
+    def test_semaphore_respects_rank_order(self, validating):
+        state = OrderedLock("state", 20)
+        permits = OrderedSemaphore("permits", 10)
+        with state:
+            with pytest.raises(LockOrderViolation):
+                permits.acquire()  # lint: allow(lock-discipline)
+
+    def test_release_from_non_holder_thread(self, validating):
+        # Hand-off pattern: one thread acquires, another releases.
+        permits = OrderedSemaphore("handoff", 10, value=1)
+        assert permits.acquire()
+
+        def releaser():
+            permits.release()
+
+        thread = threading.Thread(target=releaser)
+        thread.start()
+        thread.join()
+        # The hand-off banked a credit that cancels this thread's stale
+        # stack entry: an even *lower* rank must acquire cleanly, and
+        # the stack must come out empty — a pinned rank-10 entry here
+        # would turn every later low-rank acquisition on this thread
+        # into a false violation.
+        lower = OrderedLock("lower", 5)
+        with lower:
+            pass
+        assert locks.held_ranks() == []
+        # And the semaphore itself is usable again.
+        assert permits.acquire(timeout=1)
+        permits.release()
+
+
+class TestCondition:
+    def test_wait_notify_roundtrip(self, validating):
+        cv = OrderedCondition("cv", 60)
+        ready = []
+
+        def waiter():
+            with cv:
+                while not ready:
+                    cv.wait(timeout=5)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        with cv:
+            ready.append(True)
+            cv.notify()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+
+    def test_condition_rank_enforced(self, validating):
+        cv = OrderedCondition("cv", 60)
+        leaf = OrderedLock("leaf", 90)
+        with leaf:
+            with pytest.raises(LockOrderViolation):
+                cv.acquire()  # lint: allow(lock-discipline)
+
+
+class TestPassthrough:
+    def test_lock_is_plain_primitive(self, passthrough):
+        lock = OrderedLock("x", 10)
+        assert type(lock) is type(threading.Lock())
+        assert set(dir(lock)) == set(dir(threading.Lock()))
+
+    def test_rlock_is_plain_primitive(self, passthrough):
+        rlock = OrderedRLock("x", 10)
+        assert type(rlock) is type(threading.RLock())
+        assert set(dir(rlock)) == set(dir(threading.RLock()))
+
+    def test_semaphore_and_condition_are_plain(self, passthrough):
+        semaphore = OrderedSemaphore("x", 10, value=3)
+        assert type(semaphore) is threading.Semaphore
+        condition = OrderedCondition("x", 10)
+        assert type(condition) is threading.Condition
+        # The backing lock is the stock one, not a validating wrapper.
+        assert type(condition._lock) is type(threading.RLock())
+
+    def test_passthrough_ignores_ordering(self, passthrough):
+        low = OrderedLock("low", 10)
+        high = OrderedLock("high", 20)
+        with high:
+            with low:  # no validation, no violation
+                pass
+
+    def test_flag_read_at_construction(self, passthrough):
+        plain = OrderedLock("x", 10)
+        locks.set_validation(True)
+        validating_lock = OrderedLock("x", 10)
+        assert type(plain) is type(threading.Lock())
+        assert type(validating_lock) is not type(threading.Lock())
+        assert validating_lock.rank == 10
+
+
+class TestEngineIntegration:
+    def test_engine_locks_validate_under_lockdep(self, validating):
+        from repro.core.config import lethe_config
+        from repro.core.engine import LSMEngine
+
+        engine = LSMEngine(lethe_config(1.0))
+        try:
+            # The documented order: compaction mutex -> commit lock.
+            assert engine._compaction_mutex.rank < engine._commit_lock.rank
+            for i in range(100):
+                engine.put(i, i)
+            engine.flush()
+            assert engine.get(1) == 1
+        finally:
+            engine.close()
+
+    def test_inverting_engine_locks_raises(self, validating):
+        from repro.core.config import lethe_config
+        from repro.core.engine import LSMEngine
+
+        engine = LSMEngine(lethe_config(1.0))
+        try:
+            with engine._commit_lock:
+                with pytest.raises(LockOrderViolation):
+                    engine._compaction_mutex.acquire()  # lint: allow(lock-discipline)
+        finally:
+            engine.close()

@@ -218,8 +218,8 @@ def test_slowdown_and_stall_counters_fire_under_backlog():
     try:
         # Hold the engine's compaction mutex so the worker cannot run.
         gate = engine._compaction_mutex
-        gate.acquire()
         blocked = True
+        gate.acquire()
         try:
             i = 0
             # Fill until the hard-stall threshold is one flush away.

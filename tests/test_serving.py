@@ -175,12 +175,13 @@ class TestBackpressure:
                         target=lambda: sock.sendall(wire), daemon=True
                     )
                     sender.start()
-                    # Wait for the parsed-request count to stop moving.
-                    last, stable_since = -1, time.monotonic()
-                    while time.monotonic() - stable_since < 0.5:
+                    # Wait for the parsed-request count to stop moving —
+                    # a real quiescence window over a real socket.
+                    last, stable_since = -1, time.monotonic()  # lint: allow(deterministic-clock)
+                    while time.monotonic() - stable_since < 0.5:  # lint: allow(deterministic-clock)
                         now = server.requests_received
                         if now != last:
-                            last, stable_since = now, time.monotonic()
+                            last, stable_since = now, time.monotonic()  # lint: allow(deterministic-clock)
                         time.sleep(0.02)
                     # window queued + one batch in dispatch + the one
                     # blocked in queue.put + one carry. Everything else

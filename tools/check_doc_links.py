@@ -1,84 +1,33 @@
 #!/usr/bin/env python
-"""Check that internal markdown links in docs/ and README.md resolve.
+"""Thin shim: doc-link checking now lives in the project linter.
 
-Scans every ``*.md`` under ``docs/`` plus the top-level ``README.md`` for
-inline markdown links ``[text](target)`` and verifies that each
-*internal* target exists:
-
-* relative file targets must exist on disk (resolved against the linking
-  file's directory);
-* fragment targets (``file.md#section`` or bare ``#section``) must match
-  a heading in the target file, using GitHub's anchor convention
-  (lowercase, punctuation stripped, spaces to hyphens);
-* external targets (``http://``, ``https://``, ``mailto:``) are skipped —
-  CI must not depend on the network.
-
-Exits non-zero listing every broken link. Run from the repository root:
+The rule moved to :mod:`repro.checks.rules.doc_links` so that
+``python -m repro.checks`` covers docs alongside the code rules. This
+script keeps the standalone CI invocation working::
 
     python tools/check_doc_links.py
 """
 
 from __future__ import annotations
 
-import re
 import sys
 from pathlib import Path
 
-LINK_RE = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)\)")
-HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
-EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
 
+from repro.checks.rules.doc_links import (  # noqa: E402
+    anchors_in,
+    check_file,
+    find_problems,
+    github_anchor,
+)
 
-def github_anchor(heading: str) -> str:
-    """GitHub's heading → anchor slug (lowercase, strip, hyphenate)."""
-    text = re.sub(r"[`*_]", "", heading.strip()).lower()
-    text = re.sub(r"[^\w\- ]", "", text)
-    return text.replace(" ", "-")
-
-
-def anchors_in(markdown: str) -> set[str]:
-    return {github_anchor(match) for match in HEADING_RE.findall(markdown)}
-
-
-def check_file(path: Path, root: Path) -> list[str]:
-    """All broken internal links in one markdown file."""
-    problems: list[str] = []
-    text = path.read_text(encoding="utf-8")
-    for target in LINK_RE.findall(text):
-        if target.startswith(EXTERNAL_PREFIXES):
-            continue
-        file_part, _, fragment = target.partition("#")
-        if file_part:
-            resolved = (path.parent / file_part).resolve()
-            if not resolved.exists():
-                problems.append(f"{path.relative_to(root)}: broken link "
-                                f"-> {target} (no such file)")
-                continue
-        else:
-            resolved = path
-        if fragment:
-            if resolved.suffix != ".md" or not resolved.is_file():
-                continue  # fragments into non-markdown: out of scope
-            if fragment not in anchors_in(
-                resolved.read_text(encoding="utf-8")
-            ):
-                problems.append(f"{path.relative_to(root)}: broken anchor "
-                                f"-> {target}")
-    return problems
-
-
-def find_problems(root: Path) -> list[str]:
-    sources = sorted((root / "docs").glob("*.md")) + [root / "README.md"]
-    problems: list[str] = []
-    for source in sources:
-        if source.exists():
-            problems.extend(check_file(source, root))
-    return problems
+__all__ = ["anchors_in", "check_file", "find_problems", "github_anchor"]
 
 
 def main() -> int:
-    root = Path(__file__).resolve().parent.parent
-    problems = find_problems(root)
+    problems = find_problems(_ROOT)
     if problems:
         print(f"{len(problems)} broken doc link(s):", file=sys.stderr)
         for problem in problems:

@@ -1607,8 +1607,15 @@ def compaction_experiment(
     from repro.compaction.scheduler import BackgroundScheduler
 
     if quick:
-        worker_counts = tuple(w for w in worker_counts if w in (1, 2))
-        cluster_shards = 2
+        # Keep the extremes: 1 worker (baseline) and the highest count,
+        # so CI still exercises multi-lease intra-engine concurrency.
+        worker_counts = tuple(
+            w for w in worker_counts if w in (1, max(worker_counts))
+        )
+        # Keep all 4 cluster shards even in quick mode: with only 2,
+        # extra workers have no disjoint shard backlogs to spread over
+        # and the workers=4 run measures pure wakeup/GIL overhead —
+        # the very concurrency the cluster part exists to show.
 
     ingest_ops, _query_ops, runtime = workload_for(
         scale, delete_fraction, num_point_lookups=0
@@ -1642,6 +1649,8 @@ def compaction_experiment(
         "background_compactions": [],
         "write_slowdowns": [],
         "write_stalls": [],
+        "concurrent_peak": [],
+        "preemptions": [],
         "speedup_vs_inline": [],
     }
     digests: dict[str, tuple] = {}
@@ -1684,6 +1693,8 @@ def compaction_experiment(
         series["background_compactions"].append(stats.background_compactions)
         series["write_slowdowns"].append(stats.write_slowdowns)
         series["write_stalls"].append(stats.write_stalls)
+        series["concurrent_peak"].append(engine._leases.peak)
+        series["preemptions"].append(stats.compaction_preemptions)
         series["speedup_vs_inline"].append(speedup)
         rows.append(
             [
@@ -1695,6 +1706,7 @@ def compaction_experiment(
                 stats.background_compactions,
                 stats.write_slowdowns,
                 stats.write_stalls,
+                engine._leases.peak,
                 f"{speedup:.2f}x",
             ]
         )
@@ -1735,23 +1747,38 @@ def compaction_experiment(
         **scale.engine_overrides(),
     )
     cluster_surfaces = []
+    # Two trials per worker count, best (lowest total) reported: the
+    # cluster runs for a couple of seconds, so one stray OS scheduling
+    # hiccup or GC pause otherwise dominates the comparison between
+    # worker counts. Every trial's read surface still enters the
+    # cross-mode equality check — noise rejection must never relax the
+    # correctness assertion.
+    cluster_trials = 2
     for workers in worker_counts:
-        scheduler = BackgroundScheduler(workers=workers)
-        cluster = ShardedEngine(
-            cluster_config,
-            partitioner=HashPartitioner(cluster_shards),
-            scheduler=scheduler,
-        )
-        started = time.perf_counter()
-        cluster.ingest(ingest_ops)
-        ingest_seconds = time.perf_counter() - started
-        drain_started = time.perf_counter()
-        cluster.flush()
-        scheduler.drain()
-        drain_seconds = time.perf_counter() - drain_started
-        cluster_surfaces.append(tuple(cluster.scan(*key_domain)))
-        cluster.close()
-        scheduler.close()  # caller-supplied instance: ours to close
+        best: tuple[float, float] | None = None
+        for _trial in range(cluster_trials):
+            scheduler = BackgroundScheduler(workers=workers)
+            cluster = ShardedEngine(
+                cluster_config,
+                partitioner=HashPartitioner(cluster_shards),
+                scheduler=scheduler,
+            )
+            started = time.perf_counter()
+            cluster.ingest(ingest_ops)
+            ingest_seconds = time.perf_counter() - started
+            drain_started = time.perf_counter()
+            cluster.flush()
+            scheduler.drain()
+            drain_seconds = time.perf_counter() - drain_started
+            cluster_surfaces.append(tuple(cluster.scan(*key_domain)))
+            cluster.close()
+            scheduler.close()  # caller-supplied instance: ours to close
+            if (
+                best is None
+                or ingest_seconds + drain_seconds < best[0] + best[1]
+            ):
+                best = (ingest_seconds, drain_seconds)
+        ingest_seconds, drain_seconds = best
         total = ingest_seconds + drain_seconds
         cluster_series["workers"].append(workers)
         cluster_series["ingest_seconds"].append(ingest_seconds)
@@ -1774,7 +1801,8 @@ def compaction_experiment(
     report = (
         format_table(
             ["scheduler", "ingest ops/s", "p99 op ms", "max op ms",
-             "drain s", "bg compactions", "slowdowns", "stalls", "speedup"],
+             "drain s", "bg compactions", "slowdowns", "stalls",
+             "peak leases", "speedup"],
             rows,
             title=(
                 f"Ingest throughput, inline vs background compaction "

@@ -1,0 +1,233 @@
+"""Per-level compaction leases: intra-engine merge concurrency.
+
+The engine used to hold its compaction mutex across a worker's whole
+select→merge→install cycle, admitting exactly one compaction per engine
+— background throughput plateaued at ~1.5x inline because a second
+worker could never merge L3→L4 while the first was deep in L1→L2. The
+:class:`LeaseRegistry` replaces that coarse exclusion with *span*
+exclusion: a worker leases the ``(source_level, target_level)`` pair of
+its task (plus the input file ids, for auditing) under one short
+condition variable, merges lock-free, and releases at install. Two
+leases may be active concurrently iff their level spans are disjoint —
+which implies their file sets are disjoint, since every file belongs to
+exactly one level at selection time (the Hypothesis property in
+``tests/test_leases.py`` checks both).
+
+Three extras beyond plain span locking:
+
+* **Exclusive drain** — maintenance sections (secondary range deletes,
+  forced full compactions, checkpoints) still need the whole tree. While
+  a drain is pending, :meth:`try_acquire` refuses new leases and
+  :meth:`exclusive` blocks until the active set empties; the caller
+  holds the engine's compaction mutex, so no new worker can even reach
+  selection. Re-entrant (a maintenance section's inline convergence may
+  re-enter).
+* **Priority preemption** — a TTL-expired (FADE-urgent) task that finds
+  its span leased by a *saturation* merge flags that lease;
+  the running merge observes the flag at its next page-boundary
+  checkpoint and aborts (:class:`CompactionPreempted`), discarding its
+  un-charged partial output so the urgent task can take the span.
+  Urgent never preempts urgent, so there is no preemption cycle.
+* **Instrumentation** — peak concurrent leases (monotone, exported as
+  the ``concurrent_compactions_peak`` counter) and per-acquisition wait
+  time (the ``compaction_lease_wait_seconds`` histogram), both recorded
+  through the owning engine's :class:`~repro.obs.Observability` bundle.
+
+Lock order: the registry's condition variable ranks *above* the commit
+lock and *below* the WAL mutex (``RANK_LEASE_REGISTRY``), so acquiring a
+lease from inside the selection section (compaction mutex + commit lock
+held) and waiting for drain from a maintenance section (compaction mutex
+only) are both ascending acquisitions. See docs/static_analysis.md.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.core import locks
+from repro.core.errors import CompactionError
+from repro.obs import NULL_OBS
+
+
+class CompactionPreempted(CompactionError):
+    """A leased merge yielded to a higher-FADE-priority task.
+
+    Raised from a prepare-phase checkpoint *before* any I/O was charged
+    or any tree state touched; the caller discards the partial merge,
+    releases the lease, and lets the scheduler re-dispatch.
+    """
+
+
+class CompactionLease:
+    """One active (source-level, target-level, input-files) span."""
+
+    __slots__ = ("levels", "file_ids", "urgent", "preempt_requested")
+
+    def __init__(self, levels: frozenset[int], file_ids: frozenset[int],
+                 urgent: bool):
+        self.levels = levels
+        self.file_ids = file_ids
+        self.urgent = urgent
+        # Written under the registry cv, read lock-free at merge
+        # checkpoints: a stale read only delays the abort by one
+        # checkpoint stride, never corrupts state.
+        self.preempt_requested = False
+
+    def check(self) -> None:
+        """Abort point: raise if a higher-priority lease wants this span."""
+        if self.preempt_requested:
+            raise CompactionPreempted(
+                f"compaction over levels {sorted(self.levels)} preempted "
+                "by a TTL-urgent task"
+            )
+
+    def guard(self, stream, stride: int):
+        """Wrap a merge input stream with a checkpoint every ``stride``
+        entries (one simulated page) — the preemption granularity."""
+        count = 0
+        for entry in stream:
+            yield entry
+            count += 1
+            if count >= stride:
+                count = 0
+                self.check()
+
+
+class LeaseRegistry:
+    """Disjoint level-span leases for one engine's compaction workers."""
+
+    def __init__(self, name: str = "engine.leases", obs=None):
+        self._cv = locks.OrderedCondition(name, locks.RANK_LEASE_REGISTRY)
+        self._active: list[CompactionLease] = []
+        self._draining = 0
+        self._peak = 0
+        # Monotone change counter: bumped by every acquire, release, and
+        # drain transition. Together with the tree's install version it
+        # keys the engine's idle-dispatch memo — a worker that found no
+        # grantable task can skip re-walking the policy until one of the
+        # two counters moves (see LSMEngine._run_one_compaction_leased).
+        self._epoch = 0
+        self.obs = obs if obs is not None else NULL_OBS
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def busy_levels(self) -> frozenset[int]:
+        """Levels covered by active leases (the selection mask)."""
+        with self._cv:
+            if not self._active:
+                return frozenset()
+            return frozenset().union(*(l.levels for l in self._active))
+
+    def try_acquire(
+        self,
+        levels: frozenset[int],
+        file_ids: frozenset[int],
+        urgent: bool = False,
+        waited_seconds: float = 0.0,
+    ) -> CompactionLease | None:
+        """Lease ``levels`` if disjoint from every active lease.
+
+        Returns ``None`` when the span conflicts or an exclusive drain is
+        pending (never blocks — the caller holds the commit lock, and a
+        worker that cannot start simply drops the task; the scheduler
+        re-dispatches). ``waited_seconds`` is the caller-measured time
+        from dispatch to this acquisition, fed to the lease-wait
+        histogram.
+        """
+        with self._cv:
+            if self._draining:
+                return None
+            for active in self._active:
+                if active.levels & levels:
+                    return None
+            lease = CompactionLease(levels, file_ids, urgent)
+            self._active.append(lease)
+            self._epoch += 1
+            concurrent = len(self._active)
+            if concurrent > self._peak:
+                delta = concurrent - self._peak
+                self._peak = concurrent
+                if self.obs.enabled:
+                    self.obs.concurrent_compactions_peak.inc(delta)
+            if self.obs.enabled:
+                self.obs.compaction_lease_wait.record(waited_seconds)
+            return lease
+
+    def release(self, lease: CompactionLease) -> None:
+        with self._cv:
+            self._active.remove(lease)
+            self._epoch += 1
+            self._cv.notify_all()
+
+    def request_preemption(self, levels: frozenset[int]) -> bool:
+        """Flag every non-urgent active lease overlapping ``levels``.
+
+        Called by a worker whose TTL-expired task found its span busy.
+        Returns whether any lease was flagged; urgent leases are never
+        preempted (no cycles: lane 0 only ever evicts lane 1).
+        """
+        flagged = False
+        with self._cv:
+            for active in self._active:
+                if active.levels & levels and not active.urgent:
+                    active.preempt_requested = True
+                    flagged = True
+        return flagged
+
+    # ------------------------------------------------------------------
+    # Maintenance side
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def exclusive(self) -> Iterator[None]:
+        """Drain all leases and hold new ones off for the duration.
+
+        The caller must hold the engine's compaction mutex (rank 3000 <
+        this cv's 4200, an ascending wait), which already keeps new
+        workers out of selection; the drain flag additionally rejects a
+        worker that passed selection before the mutex was taken.
+        Re-entrant: nested sections just bump the drain count over an
+        already-empty active set.
+        """
+        with self._cv:
+            self._draining += 1
+            self._epoch += 1
+            while self._active:
+                self._cv.wait()
+        try:
+            yield
+        finally:
+            with self._cv:
+                self._draining -= 1
+                self._epoch += 1
+                self._cv.notify_all()
+
+    # ------------------------------------------------------------------
+    # Introspection (sampler / tests; lock-free reads of atomic state)
+    # ------------------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    @property
+    def peak(self) -> int:
+        """Highest concurrent lease count ever observed (monotone)."""
+        return self._peak
+
+    @property
+    def epoch(self) -> int:
+        """Monotone acquire/release/drain counter (idle-memo key).
+
+        Read lock-free: a single int load is atomic, and a stale value
+        only costs the reader one redundant selection walk.
+        """
+        return self._epoch
+
+    def active_spans(self) -> list[tuple[frozenset[int], frozenset[int]]]:
+        """Snapshot of (levels, file_ids) per active lease (tests)."""
+        with self._cv:
+            return [(l.levels, l.file_ids) for l in self._active]

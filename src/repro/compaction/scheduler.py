@@ -12,27 +12,41 @@ as :class:`~repro.shard.parallel.ShardExecutor`:
   inline, deterministically, on the calling thread. Every pre-existing
   test, crash enumeration, and experiment runs unchanged under it.
 * :class:`BackgroundScheduler` owns a FADE-priority queue of engines
-  with pending work and a pool of worker threads that execute one
-  compaction task at a time per engine — selection happens at dequeue
-  time (never against a stale tree), the merge runs off the write path,
-  and only the final install takes the engine's commit lock. One
-  scheduler may be shared by every member of a
-  :class:`~repro.shard.engine.ShardedEngine`, making cluster-wide
-  compaction concurrency a single tunable (``workers``).
+  with pending work and a pool of worker threads — selection happens at
+  dequeue time (never against a stale tree), the merge runs off the
+  write path under a per-level lease
+  (:mod:`repro.compaction.leases`), and only the final install takes
+  the engine's commit lock. Because leases cover level *spans*, several
+  workers may compact disjoint spans of the *same* engine concurrently:
+  when a worker starts a task it immediately requeues the engine so the
+  next worker can look for a disjoint one. One scheduler may be shared
+  by every member of a :class:`~repro.shard.engine.ShardedEngine`,
+  making cluster-wide compaction concurrency a single tunable
+  (``workers``).
 
 Priority (§4.1 FADE): engines whose files have outlived their
 delete-persistence deadline sort first, ordered by how far past the
 deadline the oldest tombstone is — the scheduler spends its workers
 where ``D_th`` is most at risk; saturation-only backlogs sort after, by
-fill pressure. Priorities are recomputed at every enqueue, so a shard
-that falls behind on deletes overtakes one that is merely full.
+fill pressure. Priorities are computed *fresh at every dequeue* (a
+worker ranks all queued engines just before picking one), so a
+long-queued engine whose deadline overshoot grew while it waited is
+never dispatched behind a merely-full one.
 
 Backpressure: a background engine whose Level 1 accumulates more pending
 runs than ``EngineConfig.slowdown_l1_runs`` has its writers slowed
 (one short sleep per operation), and past ``stall_l1_runs`` writers
 hard-stall until a worker catches up — the classic RocksDB
 slowdown/stop pair, surfaced in :class:`~repro.core.stats.Statistics`
-(``write_slowdowns``/``write_stalls``/``stall_seconds``).
+(``write_slowdowns``/``write_stalls``/``stall_seconds``). Both
+thresholds are *adaptive*: the scheduler samples each engine's Level-1
+run backlog at every task completion, and when the smoothed
+completion-time backlog sits well below the configured slowdown
+threshold — each drain returns the level to a low watermark — both
+thresholds scale up proportionally (to ``adaptive_stall_cap`` times the
+configured base), so a fast-draining engine never stalls writers early.
+An engine with no completed tasks, or whose completions leave the
+backlog at the threshold, keeps the configured base.
 
 Determinism contract
 --------------------
@@ -51,7 +65,6 @@ enumeration sees the exact same boundary sequence as serial mode. See
 
 from __future__ import annotations
 
-import heapq
 import threading
 import time
 from abc import ABC, abstractmethod
@@ -133,6 +146,16 @@ class CompactionScheduler(ABC):
     def throttle(self, engine: Any) -> None:
         """Write-path backpressure hook (no-op for inline scheduling)."""
 
+    def effective_thresholds(self, engine: Any) -> tuple[int, int]:
+        """The (slowdown, stall) L1-run thresholds currently applied.
+
+        The configured base values by default; the background scheduler
+        scales them by the engine's measured drain rate (see
+        :class:`_DrainRate`). Exposed so the engine's sampler can report
+        the live backpressure policy.
+        """
+        return engine.config.slowdown_l1_runs, engine.config.stall_l1_runs
+
     def after_maintenance(self, engine: Any) -> None:
         """Hook after an exclusive maintenance section releases its lock."""
 
@@ -159,16 +182,68 @@ class SerialScheduler(CompactionScheduler):
         engine.run_pending_compactions()
 
 
+class _DrainRate:
+    """EWMA of one engine's Level-1 backlog at task completions.
+
+    The adaptive-stall signal. Comparing flush-arrival gaps against
+    task-completion gaps cannot work here: one compaction consumes a
+    whole batch of flushed runs, so completions are structurally rarer
+    than arrivals even when the drain keeps up perfectly. The quantity
+    the stall policy thresholds — and therefore the right thing to
+    measure — is the backlog itself, and the meaningful moment to read
+    it is *right after a task completes*: a drain that keeps up with
+    ingest returns Level 1 to a low watermark at every completion,
+    while one falling behind leaves ever more runs pending each time.
+    Each completed task samples ``_pending_l1_runs()`` into one EWMA
+    (sampling at arrivals instead would read the transient spike every
+    long merge produces and withdraw the headroom exactly when the
+    writer needs it); :meth:`factor` turns the headroom below the
+    configured slowdown threshold into the multiplier.
+
+    Updates are single-field float stores from worker threads: a torn
+    read is advisory-only and self-corrects at the next sample.
+    """
+
+    __slots__ = ("backlog",)
+
+    ALPHA = 0.3  # EWMA smoothing: ~3-4 samples to converge
+
+    def __init__(self):
+        self.backlog: float | None = None
+
+    def note_drain(self, pending: int) -> None:
+        if self.backlog is None:
+            self.backlog = float(pending)
+        else:
+            self.backlog += self.ALPHA * (pending - self.backlog)
+
+    def factor(self, cap: float, threshold: int) -> float:
+        """Threshold multiplier in ``[1, cap]``.
+
+        ``threshold / backlog`` — a completion-time backlog sitting at
+        half the configured slowdown threshold doubles both thresholds,
+        and so on up to ``cap``. With no completed task yet (a wedged or
+        saturated worker pool must never relax backpressure) or a
+        backlog at or above the threshold, the factor is 1.0 and the
+        configured base applies.
+        """
+        if self.backlog is None or threshold <= 0:
+            return 1.0
+        return min(cap, max(1.0, threshold / max(self.backlog, 0.5)))
+
+
 class _EngineSlot:
     """Scheduler-side state for one registered engine."""
 
-    __slots__ = ("engine", "queued", "retired", "error")
+    __slots__ = ("engine", "queued", "retired", "error", "seq", "drain_rate")
 
     def __init__(self, engine: Any):
         self.engine = engine
         self.queued = False
         self.retired = False
         self.error: BaseException | None = None
+        self.seq = 0  # FIFO tie-break among equal dequeue priorities
+        self.drain_rate = _DrainRate()
 
 
 class BackgroundScheduler(CompactionScheduler):
@@ -178,10 +253,13 @@ class BackgroundScheduler(CompactionScheduler):
     ----------
     workers:
         Worker thread count — the cluster-wide compaction concurrency
-        when the scheduler is shared by a sharded engine's members. One
-        engine is compacted by at most one worker at a time (selection
-        against a stale tree is impossible); extra workers parallelize
-        across engines.
+        when the scheduler is shared by a sharded engine's members.
+        Workers parallelize across engines *and* within one: each
+        engine's lease registry admits concurrent tasks on disjoint
+        level spans, and a worker that starts a task requeues the engine
+        so the next worker can try for a disjoint one (selection against
+        a stale tree is still impossible — it happens under the engine's
+        commit lock at dequeue).
     deterministic_commits:
         Drain at every :meth:`barrier`/:meth:`notify`/
         :meth:`after_maintenance` point, serializing the durable write
@@ -205,7 +283,11 @@ class BackgroundScheduler(CompactionScheduler):
         self._cv = locks.OrderedCondition(
             "scheduler.queue", locks.RANK_SCHEDULER_CV
         )
-        self._heap: list[tuple[tuple[int, float], int, _EngineSlot]] = []
+        # Queued slots keyed by engine id. Not a heap: priorities are
+        # computed fresh at dequeue (a heap would freeze each entry's
+        # priority at enqueue time — exactly the staleness bug this
+        # replaces), and the queue is small (one entry per engine).
+        self._queue: dict[int, _EngineSlot] = {}
         self._slots: dict[int, _EngineSlot] = {}
         self._seq = 0
         self._active = 0
@@ -257,9 +339,8 @@ class BackgroundScheduler(CompactionScheduler):
             # inside those sections.
             engine.run_pending_compactions()
             return
-        priority = fade_priority(engine)
         with self._cv:
-            self._enqueue_locked(slot, priority)
+            self._enqueue_locked(slot)
         if self.deterministic_commits:
             self.drain()
 
@@ -282,8 +363,7 @@ class BackgroundScheduler(CompactionScheduler):
         if self.deterministic_commits:
             return  # every barrier drained; Level 1 cannot back up
         config = engine.config
-        stall_at = config.stall_l1_runs
-        slow_at = config.slowdown_l1_runs
+        slow_at, stall_at = self.effective_thresholds(engine)
         if stall_at <= 0 and slow_at <= 0:
             return
         pending = engine._pending_l1_runs()
@@ -292,10 +372,9 @@ class BackgroundScheduler(CompactionScheduler):
             # how long the writer *really* blocked; simulated time does
             # not advance while a thread waits on the cv.
             started = time.perf_counter()
-            priority = fade_priority(engine)
             with engine.obs.tracer.span("write-stall", l1_runs=pending):
                 with self._cv:
-                    self._enqueue_locked(slot, priority)
+                    self._enqueue_locked(slot)
                     while (
                         not self._closed
                         and slot.error is None
@@ -303,7 +382,7 @@ class BackgroundScheduler(CompactionScheduler):
                     ):
                         self._cv.wait(timeout=0.02)
                         if (
-                            not self._heap
+                            not self._queue
                             and not self._active
                             and not slot.queued
                         ):
@@ -322,16 +401,56 @@ class BackgroundScheduler(CompactionScheduler):
             self._reraise(slot)
         elif slow_at > 0 and pending >= slow_at:
             engine.stats.add(write_slowdowns=1)
-            priority = fade_priority(engine)
             with engine.obs.tracer.span("write-slowdown", l1_runs=pending):
-                with self._cv:
-                    self._enqueue_locked(slot, priority)
-                time.sleep(config.write_slowdown_seconds)
+                # Skip the enqueue (and the notify_all worker wakeup it
+                # triggers) while the engine's idle-dispatch memo proves
+                # no task is grantable: the lease in flight requeues the
+                # engine when it completes. Thousands of slowed writes
+                # land here during one long merge — without the check
+                # each one wakes every worker to dispatch a guaranteed
+                # no-op.
+                if engine._dispatch_might_progress():
+                    with self._cv:
+                        self._enqueue_locked(slot)
+                # Proportional delay (RocksDB-style): the full configured
+                # sleep applies only at the brink of the hard stall; a
+                # backlog hovering just past the slowdown threshold — a
+                # drain that is keeping up — costs a sliver of it. The
+                # write path therefore decelerates smoothly toward the
+                # stall point instead of paying a flat tax the moment
+                # the first threshold is crossed.
+                span_runs = max(stall_at - slow_at, 1)
+                depth = min(1.0, (pending - slow_at + 1) / span_runs)
+                time.sleep(config.write_slowdown_seconds * depth)
+
+    def effective_thresholds(self, engine: Any) -> tuple[int, int]:
+        """Adaptive (slowdown, stall) thresholds for ``engine``.
+
+        The configured values are the floor; an engine whose measured
+        Level-1 backlog stays below the slowdown threshold — the drain
+        is keeping up — gets both scaled by the drain-rate factor
+        (capped by ``EngineConfig.adaptive_stall_cap``). Deterministic
+        mode drains at every barrier, so the question never arises
+        there.
+        """
+        config = engine.config
+        slow_at, stall_at = config.slowdown_l1_runs, config.stall_l1_runs
+        cap = getattr(config, "adaptive_stall_cap", 1.0)
+        slot = self._slot(engine)
+        if slot is None or cap <= 1.0 or self.deterministic_commits:
+            return slow_at, stall_at
+        factor = slot.drain_rate.factor(
+            cap, slow_at if slow_at > 0 else stall_at
+        )
+        return (
+            int(slow_at * factor) if slow_at > 0 else slow_at,
+            int(stall_at * factor) if stall_at > 0 else stall_at,
+        )
 
     def drain(self) -> None:
         """Barrier: wait until the queue is empty and all workers idle."""
         with self._cv:
-            while (self._heap or self._active) and not self._closed:
+            while (self._queue or self._active) and not self._closed:
                 self._cv.wait(timeout=0.05)
             for slot in self._slots.values():
                 if slot.error is not None:
@@ -367,53 +486,109 @@ class BackgroundScheduler(CompactionScheduler):
         if slot.error is not None:
             raise slot.error
 
-    def _enqueue_locked(
-        self, slot: _EngineSlot, priority: tuple[int, float]
-    ) -> None:
+    def _enqueue_locked(self, slot: _EngineSlot) -> None:
         """Queue a slot (caller holds ``_cv``); dedup via ``queued``.
 
-        ``priority`` is computed by the caller *before* taking the
-        condition variable — :func:`fade_priority` walks the whole tree,
-        far too much work to serialize under the one lock every worker
-        pop and completion also needs.
+        No priority argument: priorities are computed fresh by the
+        worker at dequeue time, so enqueue only records *membership*
+        plus an arrival sequence number for FIFO tie-breaking.
         """
         if slot.queued or slot.retired or self._closed:
             return
         slot.queued = True
         self._seq += 1
-        heapq.heappush(self._heap, (priority, self._seq, slot))
+        slot.seq = self._seq
+        self._queue[id(slot.engine)] = slot
         self._cv.notify_all()
+
+    def _requeue(self, slot: _EngineSlot) -> None:
+        """Requeue an engine the moment one of its tasks gets a lease,
+        so another worker can look for a disjoint span concurrently."""
+        with self._cv:
+            self._enqueue_locked(slot)
+
+    def _pick(self) -> _EngineSlot | None:
+        """Dequeue the most urgent queued slot, or ``None`` to retry.
+
+        Priorities are evaluated *here*, against each engine's current
+        tree — never the tree as it stood at enqueue time. The ranking
+        walk (:func:`fade_priority` takes the tree's install lock, which
+        ranks *below* the scheduler cv) happens between two cv critical
+        sections: snapshot the queued slots, rank outside the lock, then
+        claim the best slot that is still queued. A slot dequeued by a
+        rival worker in the window simply falls through to the next
+        candidate; if every candidate is gone the caller loops and waits.
+        """
+        with self._cv:
+            candidates = []
+            for slot in list(self._queue.values()):
+                if slot.retired or slot.error is not None:
+                    del self._queue[id(slot.engine)]
+                    slot.queued = False
+                    continue
+                candidates.append(slot)
+            if not candidates:
+                self._cv.notify_all()
+                return None
+            if len(candidates) == 1:
+                # Ranking a single candidate decides nothing — skip the
+                # priority walk (it reads every file's metadata) so a
+                # lone busy engine's dispatch path costs no tree scan.
+                slot = candidates[0]
+                del self._queue[id(slot.engine)]
+                slot.queued = False
+                self._active += 1
+                return slot
+        ranked = sorted(
+            candidates, key=lambda s: (fade_priority(s.engine), s.seq)
+        )
+        with self._cv:
+            for slot in ranked:
+                if slot.queued and not slot.retired and slot.error is None:
+                    del self._queue[id(slot.engine)]
+                    slot.queued = False
+                    self._active += 1
+                    return slot
+        return None
 
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
-                while not self._heap and not self._closed:
+                while not self._queue and not self._closed:
                     self._cv.wait()
                 if self._closed:
                     return
-                _, _, slot = heapq.heappop(self._heap)
-                slot.queued = False
-                if slot.retired or slot.error is not None:
-                    self._cv.notify_all()
-                    continue
-                self._active += 1
+            slot = self._pick()
+            if slot is None:
+                continue
             progressed = False
             try:
-                progressed = slot.engine.run_one_compaction()
+                # Deterministic mode pins the exclusive (serial-identical)
+                # path so crash enumeration sees the same label stream;
+                # otherwise the engine is handed back to the queue as soon
+                # as a lease is granted, letting a second worker compact a
+                # disjoint span of the same engine concurrently.
+                if self.deterministic_commits:
+                    progressed = slot.engine.run_one_compaction(exclusive=True)
+                else:
+                    progressed = slot.engine.run_one_compaction(
+                        on_task_started=lambda: self._requeue(slot)
+                    )
                 if progressed:
                     slot.engine.stats.add(background_compactions=1)
+                    slot.drain_rate.note_drain(slot.engine._pending_l1_runs())
             except BaseException as exc:  # noqa: BLE001 - surfaced to writers
                 with self._cv:
                     slot.error = exc
                     self._active -= 1
                     self._cv.notify_all()
                 continue
-            priority = fade_priority(slot.engine) if progressed else None
             with self._cv:
                 self._active -= 1
                 if progressed:
-                    # More work may remain; requeue at a fresh priority.
-                    self._enqueue_locked(slot, priority)
+                    # More work may remain; membership only — priority is
+                    # re-evaluated when a worker picks it up.
+                    self._enqueue_locked(slot)
                 self._cv.notify_all()
 
 

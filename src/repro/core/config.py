@@ -188,6 +188,15 @@ class EngineConfig:
         hard stall.
     write_slowdown_seconds:
         Real (wall-clock) delay per write while in the slowdown band.
+    adaptive_stall_cap:
+        Upper bound on the adaptive scaling of the two write-stall
+        thresholds. The background scheduler measures each engine's
+        flush-arrival rate against its compaction-completion rate; an
+        engine draining at least as fast as it ingests has
+        ``slowdown_l1_runs``/``stall_l1_runs`` multiplied by up to this
+        factor before backpressure engages, so a healthy engine is not
+        stalled on the static floor. 1.0 (or less) disables adaptation
+        and the configured thresholds apply verbatim.
     observability:
         Turn on the :mod:`repro.obs` instrumentation layer: per-op
         write/read latency histograms, span tracing of flushes,
@@ -229,6 +238,7 @@ class EngineConfig:
     slowdown_l1_runs: int = 8
     stall_l1_runs: int = 16
     write_slowdown_seconds: float = 0.001
+    adaptive_stall_cap: float = 4.0
     observability: bool = False
     obs_sample_interval_ms: float = 25.0
 
@@ -297,6 +307,11 @@ class EngineConfig:
             raise ConfigError(
                 f"write_slowdown_seconds must be >= 0, "
                 f"got {self.write_slowdown_seconds}"
+            )
+        if self.adaptive_stall_cap < 0:
+            raise ConfigError(
+                f"adaptive_stall_cap must be >= 0, "
+                f"got {self.adaptive_stall_cap}"
             )
         if self.obs_sample_interval_ms < 0:
             raise ConfigError(

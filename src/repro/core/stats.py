@@ -126,6 +126,7 @@ class Statistics:
 
     # --- background compaction scheduling -------------------------------
     background_compactions: int = 0
+    compaction_preemptions: int = 0
     write_slowdowns: int = 0
     write_stalls: int = 0
     stall_seconds: float = 0.0
@@ -285,6 +286,7 @@ class Statistics:
                     "srd_pages_read",
                     "srd_pages_written",
                     "background_compactions",
+                    "compaction_preemptions",
                     "write_slowdowns",
                     "write_stalls",
                     "stall_seconds",

@@ -20,6 +20,14 @@ complete pre-install layout or the complete post-install one. Run files
 consumed by a compaction stay readable through an old view — their
 in-memory pages are immutable — so a read racing an install is stale,
 never wrong.
+
+Under per-level compaction leases (:mod:`repro.compaction.leases`),
+*several* workers may install into the same tree concurrently — one per
+disjoint level span. Their installs serialize in this same section;
+because each lease covers both its source and target level, two
+concurrent installs never touch the same :class:`~repro.lsm.level.
+Level`, so the section stays a microseconds-long metadata swap with no
+cross-worker interference beyond the lock handoff itself.
 """
 
 from __future__ import annotations

@@ -45,7 +45,15 @@ Concurrency model — three pieces, nothing else shared:
    shard's lock for its duration, so shards are internally serial,
    mutually parallel, and ``Statistics`` registries are only ever
    mutated single-threaded. (The shared clock has its own internal
-   lock — see :mod:`repro.core.clock`.)
+   lock — see :mod:`repro.core.clock`.) Background *compactions* are
+   the exception to "internally serial": a shared
+   :class:`~repro.compaction.scheduler.BackgroundScheduler`'s workers
+   compact members without taking shard locks, and since per-level
+   leases (:mod:`repro.compaction.leases`) several workers may even
+   compact disjoint level spans of the *same* member concurrently —
+   the counters those merges touch go through the locked
+   ``Statistics.add`` path, and installs serialize on the member's
+   commit/install locks, not the shard lock.
 
 Gate discipline: shared acquisition happens only in the public entry
 points, never nested (a barrier inside ``ingest`` releases and

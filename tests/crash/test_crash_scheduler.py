@@ -25,6 +25,7 @@ from repro.core.config import lethe_config, rocksdb_config
 
 from tests.conftest import TINY
 from tests.crash.harness import (
+    apply_both,
     assert_dth_invariant,
     assert_recovery_matches_model,
     continue_after_recovery,
@@ -41,24 +42,29 @@ SCHEDULER_FLAVOURS = [
 ]
 
 
-def background_deterministic():
-    return BackgroundScheduler(workers=2, deterministic_commits=True)
+def background_deterministic(workers: int = 2):
+    return BackgroundScheduler(workers=workers, deterministic_commits=True)
 
 
+@pytest.mark.parametrize("workers", [2, 4])
 @pytest.mark.parametrize("name,config_factory", SCHEDULER_FLAVOURS)
 def test_deterministic_background_matches_serial_boundary_stream(
-    name, config_factory
+    name, config_factory, workers
 ):
     """The determinism contract, verified at the strongest level: the
-    exact sequence of durable write labels equals serial mode's."""
+    exact sequence of durable write labels equals serial mode's — at
+    every worker count (deterministic workers pin the exclusive
+    compaction path, so extra workers must never change the stream)."""
     ops = deterministic_ops()
     serial = trace_crash_points(ops, config_factory)
     background = trace_crash_points(
-        ops, config_factory, scheduler_factory=background_deterministic
+        ops,
+        config_factory,
+        scheduler_factory=lambda: background_deterministic(workers),
     )
     assert background.labels == serial.labels, (
-        f"[{name}] background-deterministic boundary stream diverged from "
-        f"serial at index "
+        f"[{name}/w{workers}] background-deterministic boundary stream "
+        f"diverged from serial at index "
         f"{next(i for i, (a, b) in enumerate(zip(background.labels, serial.labels)) if a != b) if background.labels != serial.labels else '?'}"
     )
 
@@ -84,6 +90,50 @@ def test_every_crash_point_recovers_with_scheduler_active(name, config_factory):
             context = f"{name}@{crash_at}"
             assert_recovery_matches_model(run, context)
             assert_dth_invariant(run.recovered, context)
+
+
+@pytest.mark.parametrize("name,config_factory", SCHEDULER_FLAVOURS)
+def test_multi_lease_mode_recovers_after_mid_stream_crash(name, config_factory):
+    """Multi-lease mode (4 workers, no deterministic drains: concurrent
+    leased merges on one engine) under fault injection. Worker-thread
+    interleavings make the boundary *index* of any given write
+    non-deterministic, so exhaustive per-boundary oracles do not apply —
+    instead, every recovery must land on a consistent state: replaying
+    the full op sequence on the recovered engine converges to the
+    full-sequence model (puts re-install identical values, deletes are
+    idempotent), and D_th must hold after recovery."""
+    ops = deterministic_ops()
+    total = trace_crash_points(
+        ops,
+        config_factory,
+        scheduler_factory=lambda: BackgroundScheduler(workers=4),
+    ).writes
+    assert total > 20, f"[{name}] suspiciously few write boundaries: {total}"
+    for crash_at in range(0, total, 5):
+        with tempfile.TemporaryDirectory() as tmp:
+            run = run_crash(
+                ops,
+                config_factory,
+                crash_at,
+                tmp,
+                scheduler_factory=lambda: BackgroundScheduler(workers=4),
+            )
+            if not run.crashed:
+                # Leased interleaving crossed fewer boundaries on this
+                # replay than the counting pass saw; nothing to recover.
+                continue
+            context = f"{name}-multilease@{crash_at}"
+            assert_dth_invariant(run.recovered, context)
+            # Full idempotent replay: recovery + the whole sequence must
+            # converge on the complete model surface.
+            model: dict = {}
+            counter = [0]
+            for op in ops:
+                apply_both(run.recovered, model, op, counter)
+            assert engine_surface(run.recovered) == model_surface(model), (
+                f"[{context}] recovered engine diverged from the model "
+                "after a full idempotent replay"
+            )
 
 
 @pytest.mark.parametrize("name,config_factory", SCHEDULER_FLAVOURS)

@@ -120,7 +120,7 @@ def test_background_worker_error_reaches_the_write_path():
     try:
         boom = RuntimeError("merge exploded")
 
-        def exploding_run_one():
+        def exploding_run_one(**kwargs):
             raise boom
 
         engine.run_one_compaction = exploding_run_one
@@ -130,6 +130,102 @@ def test_background_worker_error_reaches_the_write_path():
                 time.sleep(0.001)
             engine.flush()
             scheduler.drain()
+    finally:
+        scheduler.close()
+
+
+def test_priority_is_rescored_at_dequeue_not_enqueue():
+    """Regression for the frozen-priority bug: an engine whose urgency
+    *grows while queued* (its simulated clock passes a FADE deadline)
+    must be dispatched ahead of an engine that outranked it at enqueue
+    time. A heap keyed at enqueue would dispatch in arrival order here;
+    the dequeue-time re-scoring must flip it."""
+    scheduler = BackgroundScheduler(workers=1)
+    order: list[str] = []
+    merging = threading.Event()
+    gate = threading.Event()
+    try:
+        # Pin the single worker inside a blocker engine so the queue can
+        # be staged deterministically behind it.
+        blocker = make_engine(scheduler=scheduler)
+
+        def block_once(**kwargs):
+            merging.set()
+            gate.wait(5.0)
+            return False
+
+        blocker.run_one_compaction = block_once
+
+        saturated = make_engine(d_th=1e9)
+        expired = make_engine(d_th=0.05)
+        for engine, name in ((saturated, "saturated"), (expired, "expired")):
+            for i in range(120):
+                engine.put(i, f"v{i}", delete_key=i)
+            engine.delete(3)
+            engine.flush_buffer()
+            engine.run_one_compaction = (
+                lambda name=name, **kwargs: order.append(name) or False
+            )
+            scheduler.register(engine)
+
+        scheduler.notify(blocker)
+        assert merging.wait(5.0), "worker never picked up the blocker"
+        # Enqueue order: saturated first. At this instant the expired
+        # engine's tombstone is *not* yet past its deadline, so an
+        # enqueue-time ranking would also put saturated first.
+        scheduler.notify(saturated)
+        scheduler.notify(expired)
+        assert fade_priority(expired)[0] == 1, "not urgent while enqueued"
+        # The deadline passes while both engines sit in the queue.
+        expired.clock.advance(10.0)
+        assert fade_priority(expired)[0] == 0
+        gate.set()
+        scheduler.drain()
+        assert order[0] == "expired", (
+            f"dequeue must re-score priorities; dispatch order was {order}"
+        )
+    finally:
+        gate.set()
+        scheduler.close()
+
+
+def test_adaptive_thresholds_scale_with_drain_rate():
+    """An engine whose measured Level-1 backlog stays well below the
+    slowdown threshold (the drain keeps up) gets its stall thresholds
+    lifted (capped); one with no completed task — or riding at the
+    threshold — keeps the configured floor."""
+    scheduler = BackgroundScheduler(workers=1)
+    try:
+        engine = make_engine(
+            scheduler=scheduler, slowdown_l1_runs=4, stall_l1_runs=8,
+            adaptive_stall_cap=3.0,
+        )
+        slot = scheduler._slot(engine)
+        # No completed task yet: for all the scheduler knows the worker
+        # pool is wedged, so the configured base applies.
+        assert scheduler.effective_thresholds(engine) == (4, 8)
+        # Completions holding the smoothed backlog near one run: the
+        # drain keeps up, headroom 4/1 exceeds the cap, the cap wins.
+        for _ in range(8):
+            slot.drain_rate.note_drain(1)
+        assert scheduler.effective_thresholds(engine) == (12, 24)
+        # The inverse — completions leaving the backlog at/above the
+        # slowdown threshold — never drops below the configured floor.
+        slow = make_engine(slowdown_l1_runs=4, stall_l1_runs=8)
+        scheduler.register(slow)
+        slow_slot = scheduler._slot(slow)
+        for _ in range(8):
+            slow_slot.drain_rate.note_drain(5)
+        assert scheduler.effective_thresholds(slow) == (4, 8)
+        # adaptive_stall_cap <= 1 disables adaptation outright.
+        fixed = make_engine(
+            slowdown_l1_runs=4, stall_l1_runs=8, adaptive_stall_cap=1.0
+        )
+        scheduler.register(fixed)
+        fixed_slot = scheduler._slot(fixed)
+        for _ in range(8):
+            fixed_slot.drain_rate.note_drain(0)
+        assert scheduler.effective_thresholds(fixed) == (4, 8)
     finally:
         scheduler.close()
 
